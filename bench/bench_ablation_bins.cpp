@@ -1,0 +1,94 @@
+// Ablation: the Alltoallw bin design (paper §4.2.2 — "we used three bins:
+// zero size messages, small messages and large messages").
+//
+// Separates the two mechanisms on the paper's §3.2 motivating scenario:
+// rank 0 sends one large noncontiguous message (to rank 1) and several
+// small ones (to ranks 2..5); everyone else is silent.
+//
+//   round-robin       — neither mechanism: zero-size synchronization with
+//                       every peer, packing in round-robin order,
+//   zero-exempt only  — skip silent peers but pack in rank order (the
+//                       large message still delays the small peers),
+//   3 bins            — skip silent peers AND pack small before large.
+//
+// The metric that matters is when the small-message peers get their data.
+#include <algorithm>
+#include <string>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kProcs = 64;
+constexpr std::uint64_t kLargeBytes = 4 << 20;  // 4 MB noncontiguous
+constexpr std::uint64_t kSmallBytes = 512;
+
+AlltoallwWorkload workload(std::size_t threshold) {
+    AlltoallwWorkload wl;
+    wl.nprocs = kProcs;
+    wl.volume.assign(static_cast<std::size_t>(kProcs) * kProcs, 0);
+    wl.vol(0, 1) = kLargeBytes;
+    for (int k = 2; k <= 5; ++k) wl.vol(0, k) = kSmallBytes;
+    wl.block_len = 24.0;  // sparse 3-double blocks
+    wl.pack = PackModel::DualContext;
+    wl.small_msg_threshold = threshold;
+    return wl;
+}
+
+struct Run {
+    double small_peers_us;  ///< latest finish among ranks 2..5
+    double makespan_us;
+};
+
+Run run(AlltoallwSchedule schedule, std::size_t threshold) {
+    auto cluster = make_uniform_cluster(kProcs);
+    const auto result =
+        Simulator(cluster).run(alltoallw_program(cluster, workload(threshold), schedule));
+    Run out{0.0, result.makespan_us};
+    for (int r = 2; r <= 5; ++r) {
+        out.small_peers_us = std::max(out.small_peers_us,
+                                      result.finish_us[static_cast<std::size_t>(r)]);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Ablation: Alltoallw bins (64 procs; rank 0 sends 4 MB to rank 1 and\n"
+                "512 B to ranks 2..5; 58 peers silent) ==\n\n");
+
+    const Run rr = run(AlltoallwSchedule::RoundRobin, 4096);
+    const Run zero_only = run(AlltoallwSchedule::BinnedRankOrder, 4096);
+    const Run three = run(AlltoallwSchedule::Binned, 4096);
+
+    Table t({"Design", "Small peers done (us)", "Operation done (us)"});
+    t.add_row({"round-robin (baseline)", benchutil::fmt(rr.small_peers_us, 1),
+               benchutil::fmt(rr.makespan_us, 1)});
+    t.add_row({"zero-exemption only", benchutil::fmt(zero_only.small_peers_us, 1),
+               benchutil::fmt(zero_only.makespan_us, 1)});
+    t.add_row({"zero + small-first bins", benchutil::fmt(three.small_peers_us, 1),
+               benchutil::fmt(three.makespan_us, 1)});
+    t.print();
+
+    std::printf("\nsmall/large threshold sweep (3-bin design, small-peer completion):\n\n");
+    Table s({"Threshold (B)", "Small peers done (us)"});
+    for (std::size_t thr : {std::size_t{0}, std::size_t{256}, std::size_t{1024},
+                            std::size_t{4096}, std::size_t{1} << 22, std::size_t{1} << 26}) {
+        s.add_row({std::to_string(thr),
+                   benchutil::fmt(run(AlltoallwSchedule::Binned, thr).small_peers_us, 1)});
+    }
+    s.print();
+
+    std::printf("\nzero-size exemption removes 58 synchronizations; small-first packing\n"
+                "keeps the 512 B peers from waiting behind the 4 MB pack. Any threshold\n"
+                "strictly between the two sizes separates the bins (threshold 0 or huge\n"
+                "degenerates to one bin — but ascending volume order inside a bin still\n"
+                "sends the small messages first).\n");
+    return 0;
+}

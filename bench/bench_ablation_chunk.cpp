@@ -1,0 +1,65 @@
+// Ablation: pipelining granularity (intermediate pack-buffer size).
+//
+// The baseline's total re-search cost is ~bytes^2 / (2 * chunk * blocklen):
+// larger chunks directly shrink the quadratic term (fewer look-ahead events
+// lose the context). The dual-context engine is insensitive to chunk size
+// beyond per-chunk overhead amortization. Measured on the real engines.
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "runtime/comm.hpp"
+
+using namespace nncomm;
+using benchutil::Table;
+
+namespace {
+
+double run(std::size_t n, dt::EngineKind kind, std::size_t chunk, int iters) {
+    rt::World world(2);
+    double out = 0;
+    world.run([&](rt::Comm& c) {
+        c.set_engine(kind);
+        dt::EngineConfig cfg;
+        cfg.pipeline_chunk = chunk;
+        c.set_engine_config(cfg);
+        auto matrix = benchutil::transpose_type(n);
+        if (c.rank() == 0) {
+            std::vector<double> m(n * n * 3);
+            std::iota(m.begin(), m.end(), 0.0);
+            benchutil::Stopwatch sw;
+            for (int it = 0; it < iters; ++it) {
+                c.send(m.data(), 1, matrix, 1, 0);
+                c.recv(nullptr, 0, dt::Datatype::byte(), 1, 1);
+            }
+            out = sw.ms() / iters;
+        } else {
+            std::vector<double> recv(n * n * 3);
+            for (int it = 0; it < iters; ++it) {
+                c.recv(recv.data(), recv.size() * 8, dt::Datatype::byte(), 0, 0);
+                c.send(nullptr, 0, dt::Datatype::byte(), 0, 1);
+            }
+        }
+    });
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kMatrix = 512;
+    constexpr int kIters = 3;
+    std::printf("== Ablation: pipeline chunk size (%zux%zu transpose) ==\n\n", kMatrix,
+                kMatrix);
+    Table t({"Chunk (KB)", "Single-context (ms)", "Dual-context (ms)", "Baseline penalty"});
+    for (std::size_t kb : {4u, 16u, 64u, 256u, 1024u}) {
+        const double single = run(kMatrix, dt::EngineKind::SingleContext, kb * 1024, kIters);
+        const double dual = run(kMatrix, dt::EngineKind::DualContext, kb * 1024, kIters);
+        t.add_row({std::to_string(kb), benchutil::fmt(single), benchutil::fmt(dual),
+                   benchutil::fmt(single / dual, 2) + "x"});
+    }
+    t.print();
+    std::printf("\nbaseline penalty shrinks as the chunk grows (fewer context losses) but\n"
+                "never reaches parity; huge chunks also defeat pipelining on a real wire.\n");
+    return 0;
+}

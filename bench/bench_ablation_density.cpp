@@ -1,0 +1,80 @@
+// Ablation: the sparse/dense density threshold (§3.1's look-ahead decides,
+// per pipeline chunk, whether to pack into an intermediate buffer or send
+// the regions directly, writev-style).
+//
+// Sweeps the threshold across layouts of different contiguous-block sizes
+// (real engine, dual-context). Small blocks want packing (per-region
+// dispatch overhead dominates); large blocks want the direct path (skip
+// the extra copy). A threshold around a few hundred bytes separates the
+// regimes — matching the engines' 256-byte default.
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "runtime/comm.hpp"
+
+using namespace nncomm;
+using benchutil::Table;
+
+namespace {
+
+// blocks of `block_doubles` doubles with a one-double gap between them.
+dt::Datatype gapped_type(std::size_t nblocks, std::size_t block_doubles) {
+    return dt::Datatype::vector(nblocks, block_doubles,
+                                static_cast<std::ptrdiff_t>(block_doubles + 1),
+                                dt::Datatype::float64());
+}
+
+double run(std::size_t nblocks, std::size_t block_doubles, double threshold, int iters) {
+    rt::World world(2);
+    double out = 0;
+    world.run([&](rt::Comm& c) {
+        c.set_engine(dt::EngineKind::DualContext);
+        dt::EngineConfig cfg;
+        cfg.density_threshold = threshold;
+        c.set_engine_config(cfg);
+        auto t = gapped_type(nblocks, block_doubles);
+        const std::size_t total = nblocks * block_doubles;
+        if (c.rank() == 0) {
+            std::vector<double> data((block_doubles + 1) * nblocks + 8);
+            std::iota(data.begin(), data.end(), 0.0);
+            benchutil::Stopwatch sw;
+            for (int it = 0; it < iters; ++it) {
+                c.send(data.data(), 1, t, 1, 0);
+                c.recv(nullptr, 0, dt::Datatype::byte(), 1, 1);
+            }
+            out = sw.ms() / iters;
+        } else {
+            std::vector<double> recv(total);
+            for (int it = 0; it < iters; ++it) {
+                c.recv(recv.data(), total * 8, dt::Datatype::byte(), 0, 0);
+                c.send(nullptr, 0, dt::Datatype::byte(), 0, 1);
+            }
+        }
+    });
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Ablation: density threshold (dual-context engine) ==\n");
+    std::printf("strided layouts, 8 MB of payload each, varying contiguous-block size\n\n");
+
+    const std::size_t kPayloadDoubles = 1 << 20;  // 8 MB
+    Table t({"Block size", "thr=1 (all dense)", "thr=256 (default)", "thr=1e9 (all packed)"});
+    for (std::size_t bd : {1u, 4u, 16u, 64u, 256u, 4096u}) {
+        const std::size_t nblocks = kPayloadDoubles / bd;
+        const int iters = 3;
+        const double dense = run(nblocks, bd, 1.0, iters);
+        const double def = run(nblocks, bd, 256.0, iters);
+        const double packed = run(nblocks, bd, 1e9, iters);
+        t.add_row({std::to_string(bd * 8) + " B", benchutil::fmt(dense) + " ms",
+                   benchutil::fmt(def) + " ms", benchutil::fmt(packed) + " ms"});
+    }
+    t.print();
+    std::printf("\nthe default threshold tracks the per-block-size winner: below a few\n"
+                "hundred bytes the packed path amortizes per-region overhead, above it\n"
+                "the direct path avoids the extra copy.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 12: matrix-transpose latency vs matrix size.
+//
+// Rank 0 sends an n x n matrix (element = 3 doubles) column-major through a
+// derived datatype; rank 1 receives it row-major (contiguously), i.e. the
+// transfer transposes the matrix. The single-context engine is the
+// MVAPICH2-0.9.5 baseline (its re-search makes latency grow superlinearly);
+// the dual-context engine is MVAPICH2-New. Times are real wall-clock of
+// this host's engines — the shape, not the absolute values, is the
+// reproduction target.
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "runtime/comm.hpp"
+
+using namespace nncomm;
+using benchutil::Table;
+
+namespace {
+
+double transpose_latency_ms(std::size_t n, dt::EngineKind kind, int iters) {
+    rt::World world(2);
+    double total_ms = 0.0;
+    world.run([&](rt::Comm& c) {
+        c.set_engine(kind);
+        auto matrix = benchutil::transpose_type(n);
+        if (c.rank() == 0) {
+            std::vector<double> m(n * n * 3);
+            std::iota(m.begin(), m.end(), 0.0);
+            // Warmup.
+            c.send(m.data(), 1, matrix, 1, 0);
+            c.recv(nullptr, 0, dt::Datatype::byte(), 1, 1);
+            benchutil::Stopwatch sw;
+            for (int it = 0; it < iters; ++it) {
+                c.send(m.data(), 1, matrix, 1, 0);
+                c.recv(nullptr, 0, dt::Datatype::byte(), 1, 1);  // completion ack
+            }
+            total_ms = sw.ms() / iters;
+        } else {
+            std::vector<double> recv(n * n * 3);
+            for (int it = 0; it < iters + 1; ++it) {
+                c.recv(recv.data(), recv.size() * 8, dt::Datatype::byte(), 0, 0);
+                c.send(nullptr, 0, dt::Datatype::byte(), 0, 1);
+            }
+        }
+    });
+    return total_ms;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 12: matrix transpose benchmark ==\n");
+    std::printf("sender: column-major derived datatype; receiver: row-major contiguous\n\n");
+
+    Table t({"Matrix size", "MVAPICH2-0.9.5 (ms)", "MVAPICH2-New (ms)", "Improvement"});
+    for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+        const int iters = n >= 512 ? 2 : 5;
+        const double base = transpose_latency_ms(n, dt::EngineKind::SingleContext, iters);
+        const double opt = transpose_latency_ms(n, dt::EngineKind::DualContext, iters);
+        t.add_row({std::to_string(n) + "x" + std::to_string(n), benchutil::fmt(base),
+                   benchutil::fmt(opt),
+                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt))});
+    }
+    t.print();
+    std::printf("\npaper shape: baseline grows superlinearly with matrix size; the\n"
+                "dual-context engine removes the quadratic re-search (>85%% at 1024x1024).\n");
+    return 0;
+}

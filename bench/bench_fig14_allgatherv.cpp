@@ -1,0 +1,88 @@
+// Figure 14: MPI_Allgatherv with one outlier volume, on the simulated
+// cluster. Process 0 contributes a large block while every other process
+// contributes a single double.
+//
+//   (a) latency vs process-0 volume at 64 processes,
+//   (b) latency vs process count with process 0 sending 32 KB.
+//
+// MVAPICH2-0.9.5 — the uniform-volume policy: the ring algorithm whenever
+// the total payload is "large", regardless of how the volume is
+// distributed (one large message then snakes around the ring
+// sequentially).
+// MVAPICH2-New — the paper's outlier-aware selection (Eq. 1 over the
+// communication-volume set via Floyd–Rivest k-select): recursive doubling
+// or dissemination whenever the set is nonuniform.
+#include <string>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kIterations = 20;
+/// MPICH2-like baseline: switch to the ring once the total payload is at
+/// least this many bytes (no outlier analysis).
+constexpr std::uint64_t kBaselineRingThreshold = 16 * 1024;
+
+AllgathervWorkload outlier_workload(int nprocs, std::uint64_t p0_bytes) {
+    AllgathervWorkload wl;
+    wl.volumes.assign(static_cast<std::size_t>(nprocs), 8);
+    wl.volumes[0] = p0_bytes;
+    wl.iterations = kIterations;
+    return wl;
+}
+
+double latency_us(int nprocs, std::uint64_t p0_bytes, bool optimized) {
+    auto cluster = make_uniform_cluster(nprocs);
+    const AllgathervWorkload wl = outlier_workload(nprocs, p0_bytes);
+
+    GathervSchedule schedule;
+    if (optimized) {
+        schedule = GathervSchedule::Auto;  // Eq. 1 outlier-aware selection
+    } else {
+        std::uint64_t total = 0;
+        for (auto v : wl.volumes) total += v;
+        const bool pow2 = (nprocs & (nprocs - 1)) == 0;
+        schedule = (total >= kBaselineRingThreshold)
+                       ? GathervSchedule::Ring
+                       : (pow2 ? GathervSchedule::RecursiveDoubling
+                               : GathervSchedule::Dissemination);
+    }
+    const auto result = Simulator(cluster).run(allgatherv_program(cluster, wl, schedule));
+    return result.makespan_us / kIterations;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 14: MPI_Allgatherv performance (simulated cluster) ==\n");
+    std::printf("process 0 sends a large block; every other process sends one double\n");
+
+    std::printf("\n(a) 64 processes, varying process-0 message size\n");
+    Table a({"Msg size (doubles)", "MVAPICH2-0.9.5 (us)", "MVAPICH2-New (us)", "Improvement"});
+    for (std::uint64_t doubles = 1; doubles <= 16384; doubles *= 4) {
+        const double base = latency_us(64, doubles * 8, false);
+        const double opt = latency_us(64, doubles * 8, true);
+        a.add_row({std::to_string(doubles), benchutil::fmt(base, 1), benchutil::fmt(opt, 1),
+                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt))});
+    }
+    a.print();
+
+    std::printf("\n(b) process 0 sends 32 KB, varying process count\n");
+    Table b({"Processes", "MVAPICH2-0.9.5 (us)", "MVAPICH2-New (us)", "Improvement"});
+    for (int n : {2, 4, 8, 16, 32, 64}) {
+        const double base = latency_us(n, 32 * 1024, false);
+        const double opt = latency_us(n, 32 * 1024, true);
+        b.add_row({std::to_string(n), benchutil::fmt(base, 1), benchutil::fmt(opt, 1),
+                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt))});
+    }
+    b.print();
+
+    std::printf("\npaper shape: the baseline's latency grows much faster in both sweeps\n"
+                "once its large-total policy picks the ring; ~20%% at 64 procs / 32 KB.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 15: MPI_Alltoallw nearest-neighbor performance on the simulated
+// heterogeneous testbed (32 Intel + 32 Opteron nodes; natural skew between
+// the two halves, as observed in the paper's §5.3).
+//
+// Workload: processes arranged in a logical ring; each exchanges a 10x10
+// matrix of doubles (800 B) with its successor and predecessor and nothing
+// with anyone else.
+//
+// MVAPICH2-0.9.5 — round-robin pairwise exchange including zero-byte
+// messages (each a synchronization); MVAPICH2-New — the binned design
+// (zero-volume peers exempted, small volumes first).
+#include <string>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kIterations = 50;
+constexpr std::uint64_t kMsgBytes = 10 * 10 * 8;  // 10x10 doubles
+
+double latency_us(int nprocs, AlltoallwSchedule schedule) {
+    // Up to 32 processes the paper ran entirely on the Opteron cluster
+    // (homogeneous but still noisy); beyond that the two clusters mix.
+    auto cluster = make_paper_testbed(nprocs, /*skew_us_mean=*/15.0);
+    if (nprocs <= 32) {
+        for (auto& s : cluster.speed) s = 0.8;  // all-Opteron
+    }
+    auto wl = make_ring_neighbor_workload(nprocs, kMsgBytes);
+    wl.iterations = kIterations;
+    const auto result = Simulator(cluster).run(alltoallw_program(cluster, wl, schedule));
+    return result.makespan_us / kIterations;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 15: MPI_Alltoallw performance (simulated cluster) ==\n");
+    std::printf("logical ring; 10x10 doubles to each of 2 neighbors, zero to all others\n\n");
+
+    Table t({"Processes", "MVAPICH2-0.9.5 (us)", "MVAPICH2-New (us)", "Improvement"});
+    for (int n : {2, 4, 8, 16, 32, 64, 128}) {
+        const double base = latency_us(n, AlltoallwSchedule::RoundRobin);
+        const double opt = latency_us(n, AlltoallwSchedule::Binned);
+        t.add_row({std::to_string(n), benchutil::fmt(base, 1), benchutil::fmt(opt, 1),
+                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt))});
+    }
+    t.print();
+
+    std::printf("\npaper shape: the baseline degrades steadily with system size (zero-size\n"
+                "round-robin synchronization propagates every rank's skew); the binned\n"
+                "design stays flat — ~50%% at 32 procs, >88%% at 128.\n");
+    return 0;
+}

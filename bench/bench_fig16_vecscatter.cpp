@@ -1,0 +1,128 @@
+// Figure 16: PETSc vector-scatter benchmark.
+//
+// Two 1-D grids (one degree of freedom) are laid out in parallel; each
+// process scatters the elements of its portion of the first vector to a
+// unique portion of the second (§5.4). The source elements are strided
+// (every other double — the Figure 5 layout), so each rank sends one large
+// noncontiguous message to exactly one peer and nothing to anyone else:
+// a maximally nonuniform communication-volume set (one volume, P-2 zeros)
+// of noncontiguous data — the paper's combined worst case.
+//
+// Weak scaling: elements per process constant across the sweep.
+//
+// The three series are the paper's:
+//   hand-tuned       — explicit pack loops + point-to-point (PETSc default),
+//   MVAPICH2-0.9.5   — derived datatypes + round-robin Alltoallw (zero-size
+//                      messages synchronize) + single-context engine
+//                      (quadratic re-search while packing),
+//   MVAPICH2-New     — derived datatypes + binned Alltoallw (zero peers
+//                      exempt) + dual-context engine.
+//
+// The traffic matrix driving the simulator is validated against the real
+// VecScatter plan built by the library at 8 processes.
+#include <string>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+#include "petsckit/scatter.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+
+namespace {
+
+constexpr std::uint64_t kElemsPerProc = 65536;  // doubles scattered per process
+constexpr int kIterations = 20;
+
+/// Analytic traffic: rank r sends all kElemsPerProc doubles to rank
+/// (r+1) mod P as isolated 8-byte blocks (stride-2 source).
+AlltoallwWorkload scatter_workload(int nprocs, PackModel pack) {
+    AlltoallwWorkload wl;
+    wl.nprocs = nprocs;
+    wl.volume.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs), 0);
+    for (int r = 0; r < nprocs; ++r) {
+        wl.vol(r, (r + 1) % nprocs) = kElemsPerProc * 8;
+    }
+    wl.block_len = 8.0;  // single-double blocks
+    wl.pack = pack;
+    wl.iterations = kIterations;
+    return wl;
+}
+
+double scatter_time_us(int nprocs, AlltoallwSchedule schedule, PackModel pack) {
+    auto cluster = make_paper_testbed(nprocs, /*skew_us_mean=*/15.0);
+    const auto result =
+        Simulator(cluster).run(alltoallw_program(cluster, scatter_workload(nprocs, pack),
+                                                 schedule));
+    return result.makespan_us / kIterations;
+}
+
+/// Builds the same pattern with the real library at a small scale and
+/// checks its planned traffic against the analytic matrix.
+bool validate_against_real_scatter() {
+    constexpr int kProcs = 8;
+    constexpr pk::Index kElems = 512;  // per process, for the validation only
+    bool ok = true;
+    rt::World world(kProcs);
+    world.run([&](rt::Comm& c) {
+        // First vector: 2*kElems doubles per process; each process scatters
+        // its even-offset elements to the next process's portion of the
+        // second vector (kElems doubles per process).
+        pk::Vec src(c, 2 * kElems * kProcs), dst(c, kElems * kProcs);
+        std::vector<pk::Index> from, to;
+        for (int r = 0; r < kProcs; ++r) {
+            for (pk::Index j = 0; j < kElems; ++j) {
+                from.push_back(r * 2 * kElems + 2 * j);
+                to.push_back(((r + 1) % kProcs) * kElems + j);
+            }
+        }
+        pk::VecScatter sc(src, pk::IndexSet::general(from), dst, pk::IndexSet::general(to));
+        const auto& bytes = sc.send_bytes();
+        const auto blocks = sc.send_blocks();
+        const auto peer = static_cast<std::size_t>((c.rank() + 1) % kProcs);
+        for (int d = 0; d < kProcs; ++d) {
+            const std::uint64_t expect_bytes =
+                (static_cast<std::size_t>(d) == peer) ? kElems * 8 : 0;
+            if (bytes[static_cast<std::size_t>(d)] != expect_bytes) ok = false;
+        }
+        // Stride-2 source offsets: no merging, one block per element.
+        if (blocks[peer] != static_cast<std::uint64_t>(kElems)) ok = false;
+    });
+    return ok;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 16: PETSc vector scatter benchmark (simulated cluster) ==\n");
+    std::printf("strided 1-D scatter to one unique peer, %llu doubles per process "
+                "(weak scaling)\n",
+                static_cast<unsigned long long>(kElemsPerProc));
+    std::printf("traffic matrix validated against the real VecScatter plan at 8 procs: %s\n\n",
+                validate_against_real_scatter() ? "OK" : "MISMATCH");
+
+    Table a({"Processes", "MVAPICH2-0.9.5 (ms)", "MVAPICH2-New (ms)", "Hand-tuned (ms)"});
+    Table b({"Processes", "MVAPICH2-New vs 0.9.5", "Hand-tuned vs 0.9.5"});
+    for (int n : {2, 4, 8, 16, 32, 64, 128}) {
+        const double orig =
+            scatter_time_us(n, AlltoallwSchedule::RoundRobin, PackModel::SingleContext);
+        const double opt =
+            scatter_time_us(n, AlltoallwSchedule::Binned, PackModel::DualContext);
+        const double hand =
+            scatter_time_us(n, AlltoallwSchedule::Binned, PackModel::HandTuned);
+        a.add_row({std::to_string(n), benchutil::fmt(orig / 1000.0, 3),
+                   benchutil::fmt(opt / 1000.0, 3), benchutil::fmt(hand / 1000.0, 3)});
+        b.add_row({std::to_string(n), benchutil::fmt_pct(benchutil::improvement_pct(orig, opt)),
+                   benchutil::fmt_pct(benchutil::improvement_pct(orig, hand))});
+    }
+    std::printf("(a) absolute latency\n");
+    a.print();
+    std::printf("\n(b) improvement over the original implementation\n");
+    b.print();
+
+    std::printf("\npaper shape: the optimized implementation's advantage over the original\n"
+                "grows with process count (>95%% at 128); the hand-tuned path stays a few\n"
+                "percent ahead of the optimized datatype path.\n");
+    return 0;
+}

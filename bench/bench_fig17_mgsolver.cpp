@@ -1,0 +1,230 @@
+// Figure 17: 3-D Laplacian multigrid solver application.
+//
+// The paper's application: a 3-D Laplacian solved with a three-level
+// multigrid on a ~100^3 grid with one degree of freedom (we use 101^3 so
+// the vertex-centered hierarchy coarsens exactly: 101 -> 51 -> 26).
+//
+// Per V-cycle the solver performs, on every level, Jacobi smoothing and
+// residual evaluations (each one a DMDA star-stencil ghost exchange with
+// nonuniform per-neighbor volumes), inter-grid transfer gathers, and — on
+// the coarsest level — CG iterations with two allreduces each. The
+// communication structure (who talks to whom, how many bytes, how many
+// noncontiguous blocks) is computed from the library's own DMDA
+// decomposition; the discrete-event simulator then prices it per backend:
+//   MVAPICH2-0.9.5 — round-robin Alltoallw + single-context engine,
+//   MVAPICH2-New   — binned Alltoallw + dual-context engine,
+//   Hand-tuned     — binned schedule + explicit pack loops.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+#include "petsckit/dmda.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+using pk::DMDA;
+using pk::GridBox;
+using pk::GridSize;
+using pk::Index;
+
+namespace {
+
+constexpr Index kFineGrid = 101;
+constexpr int kLevels = 3;
+constexpr int kPreSmooth = 2, kPostSmooth = 2;
+constexpr int kCoarseCgIters = 20;
+constexpr int kCycles = 20;
+constexpr double kComputeUsPerPoint = 0.004;  // stencil sweep cost per grid point
+
+struct Setup {
+    AlltoallwSchedule schedule;
+    PackModel pack;
+};
+
+AlltoallwWorkload traffic_to_workload(int nprocs,
+                                      const std::vector<DMDA::TrafficEntry>& traffic,
+                                      const Setup& setup) {
+    AlltoallwWorkload wl;
+    wl.nprocs = nprocs;
+    wl.volume.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs), 0);
+    std::uint64_t bytes = 0, blocks = 0;
+    for (const auto& e : traffic) {
+        wl.vol(e.src, e.dst) += e.bytes;
+        bytes += e.bytes;
+        blocks += e.blocks;
+    }
+    wl.block_len = blocks ? static_cast<double>(bytes) / static_cast<double>(blocks) : 8.0;
+    wl.pack = setup.pack;
+    return wl;
+}
+
+GridBox intersect(const GridBox& a, const GridBox& b) {
+    GridBox r;
+    r.xs = std::max(a.xs, b.xs);
+    r.xm = std::max<Index>(0, std::min(a.xs + a.xm, b.xs + b.xm) - r.xs);
+    r.ys = std::max(a.ys, b.ys);
+    r.ym = std::max<Index>(0, std::min(a.ys + a.ym, b.ys + b.ym) - r.ys);
+    r.zs = std::max(a.zs, b.zs);
+    r.zm = std::max<Index>(0, std::min(a.zs + a.zm, b.zs + b.zm) - r.zs);
+    if (r.xm == 0 || r.ym == 0 || r.zm == 0) r = GridBox{0, 0, 0, 0, 0, 0};
+    return r;
+}
+
+/// Traffic of a PatchGather: rank r needs `patches[r]` of the grid
+/// decomposed as `owners`; every overlap with a remote owner is a message.
+AlltoallwWorkload patch_workload(int nprocs, const std::vector<GridBox>& patches,
+                                 const std::vector<GridBox>& owners, const Setup& setup) {
+    AlltoallwWorkload wl;
+    wl.nprocs = nprocs;
+    wl.volume.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs), 0);
+    std::uint64_t bytes = 0, blocks = 0;
+    for (int r = 0; r < nprocs; ++r) {
+        for (int s = 0; s < nprocs; ++s) {
+            if (s == r) continue;
+            const GridBox ov = intersect(patches[static_cast<std::size_t>(r)],
+                                         owners[static_cast<std::size_t>(s)]);
+            const std::uint64_t v = static_cast<std::uint64_t>(ov.volume()) * 8;
+            if (v == 0) continue;
+            wl.vol(s, r) += v;  // owner s sends to gatherer r
+            bytes += v;
+            blocks += static_cast<std::uint64_t>(ov.ym) * static_cast<std::uint64_t>(ov.zm);
+        }
+    }
+    wl.block_len = blocks ? static_cast<double>(bytes) / static_cast<double>(blocks) : 8.0;
+    wl.pack = setup.pack;
+    return wl;
+}
+
+double solver_time_s(int nprocs, const Setup& setup) {
+    auto cluster = make_paper_testbed(nprocs, /*skew_us_mean=*/15.0);
+
+    // Level geometry: 101 -> 51 -> 26.
+    std::vector<GridSize> grids;
+    Index m = kFineGrid;
+    for (int l = 0; l < kLevels; ++l) {
+        grids.push_back(GridSize{m, m, m});
+        if (l + 1 < kLevels) m = (m + 1) / 2;
+    }
+    std::vector<std::vector<GridBox>> boxes;
+    std::vector<AlltoallwWorkload> ghost;
+    for (const auto& g : grids) {
+        boxes.push_back(DMDA::decompose(nprocs, 3, g));
+        ghost.push_back(traffic_to_workload(
+            nprocs, DMDA::ghost_traffic(nprocs, 3, g, 1, 1, pk::Stencil::Star), setup));
+    }
+
+    // Transfer gathers between consecutive levels (same patch math as
+    // MGSolver's PatchGather construction).
+    std::vector<AlltoallwWorkload> restrict_wl, prolong_wl;
+    for (int l = 0; l + 1 < kLevels; ++l) {
+        const auto& fine_boxes = boxes[static_cast<std::size_t>(l)];
+        const auto& coarse_boxes = boxes[static_cast<std::size_t>(l) + 1];
+        const Index fm = grids[static_cast<std::size_t>(l)].m;
+        const Index cm = grids[static_cast<std::size_t>(l) + 1].m;
+        std::vector<GridBox> fine_patches(static_cast<std::size_t>(nprocs));
+        std::vector<GridBox> coarse_patches(static_cast<std::size_t>(nprocs));
+        for (int r = 0; r < nprocs; ++r) {
+            const GridBox& co = coarse_boxes[static_cast<std::size_t>(r)];
+            const GridBox& fo = fine_boxes[static_cast<std::size_t>(r)];
+            auto span_f = [&](Index cs, Index cmx) {
+                const Index lo = std::max<Index>(0, 2 * cs - 1);
+                const Index hi = std::min<Index>(fm - 1, 2 * (cs + cmx - 1) + 1);
+                return std::pair<Index, Index>{lo, hi - lo + 1};
+            };
+            auto span_c = [&](Index fs, Index fmx) {
+                const Index lo = fs / 2;
+                const Index hi = std::min<Index>(cm - 1, (fs + fmx) / 2);
+                return std::pair<Index, Index>{lo, hi - lo + 1};
+            };
+            GridBox& fp = fine_patches[static_cast<std::size_t>(r)];
+            std::tie(fp.xs, fp.xm) = span_f(co.xs, co.xm);
+            std::tie(fp.ys, fp.ym) = span_f(co.ys, co.ym);
+            std::tie(fp.zs, fp.zm) = span_f(co.zs, co.zm);
+            GridBox& cp = coarse_patches[static_cast<std::size_t>(r)];
+            std::tie(cp.xs, cp.xm) = span_c(fo.xs, fo.xm);
+            std::tie(cp.ys, cp.ym) = span_c(fo.ys, fo.ym);
+            std::tie(cp.zs, cp.zm) = span_c(fo.zs, fo.zm);
+        }
+        restrict_wl.push_back(patch_workload(nprocs, fine_patches, fine_boxes, setup));
+        prolong_wl.push_back(patch_workload(nprocs, coarse_patches, coarse_boxes, setup));
+    }
+
+    ProgramBuilder pb(cluster);
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+        pb.add_skew();
+        auto level_points = [&](int l) {
+            const Index g = grids[static_cast<std::size_t>(l)].m;
+            return static_cast<double>(g) * static_cast<double>(g) * static_cast<double>(g) /
+                   nprocs;
+        };
+        // Downstroke: smoothing + residual on each non-coarsest level, then
+        // the restriction gather.
+        for (int l = 0; l + 1 < kLevels; ++l) {
+            const double sweep_us = level_points(l) * kComputeUsPerPoint;
+            for (int s = 0; s < kPreSmooth + 1; ++s) {  // pre-smooth + residual
+                pb.add_compute_all(sweep_us);
+                pb.add_alltoallw(ghost[static_cast<std::size_t>(l)], setup.schedule);
+            }
+            pb.add_alltoallw(restrict_wl[static_cast<std::size_t>(l)], setup.schedule);
+        }
+        // Coarsest level: CG iterations (ghost exchange + 2 allreduces each).
+        for (int it = 0; it < kCoarseCgIters; ++it) {
+            pb.add_compute_all(level_points(kLevels - 1) * kComputeUsPerPoint);
+            pb.add_alltoallw(ghost[kLevels - 1], setup.schedule);
+            pb.add_allreduce(8);
+            pb.add_allreduce(8);
+        }
+        // Upstroke: prolongation gather + post-smoothing.
+        for (int l = kLevels - 2; l >= 0; --l) {
+            pb.add_alltoallw(prolong_wl[static_cast<std::size_t>(l)], setup.schedule);
+            const double sweep_us = level_points(l) * kComputeUsPerPoint;
+            for (int s = 0; s < kPostSmooth; ++s) {
+                pb.add_compute_all(sweep_us);
+                pb.add_alltoallw(ghost[static_cast<std::size_t>(l)], setup.schedule);
+            }
+        }
+        // Convergence check: residual norm.
+        pb.add_allreduce(8);
+    }
+    const auto result = Simulator(cluster).run(pb.take());
+    return result.makespan_us * 1e-6;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Figure 17: 3-D Laplacian multigrid solver (simulated cluster) ==\n");
+    std::printf("grid %lldx%lldx%lld, 1 dof, %d levels, %d V-cycles\n\n",
+                static_cast<long long>(kFineGrid), static_cast<long long>(kFineGrid),
+                static_cast<long long>(kFineGrid), kLevels, kCycles);
+
+    const Setup orig{AlltoallwSchedule::RoundRobin, PackModel::SingleContext};
+    const Setup opt{AlltoallwSchedule::Binned, PackModel::DualContext};
+    const Setup hand{AlltoallwSchedule::Binned, PackModel::HandTuned};
+
+    Table a({"Processes", "MVAPICH2-0.9.5 (s)", "MVAPICH2-New (s)", "Hand-tuned (s)"});
+    Table b({"Processes", "MVAPICH2-New vs 0.9.5", "Hand-tuned vs New"});
+    for (int n : {4, 8, 16, 32, 64, 128}) {
+        const double t_orig = solver_time_s(n, orig);
+        const double t_opt = solver_time_s(n, opt);
+        const double t_hand = solver_time_s(n, hand);
+        a.add_row({std::to_string(n), benchutil::fmt(t_orig, 3), benchutil::fmt(t_opt, 3),
+                   benchutil::fmt(t_hand, 3)});
+        b.add_row({std::to_string(n),
+                   benchutil::fmt_pct(benchutil::improvement_pct(t_orig, t_opt)),
+                   benchutil::fmt_pct(benchutil::improvement_pct(t_opt, t_hand))});
+    }
+    std::printf("(a) absolute execution time\n");
+    a.print();
+    std::printf("\n(b) improvement\n");
+    b.print();
+
+    std::printf("\npaper shape: with the original MPI the execution time stops improving\n"
+                "past ~32 processes and turns upward; the optimized implementation keeps\n"
+                "scaling to 128 (~90%% improvement there). Hand-tuned leads the optimized\n"
+                "path by ~10%% at 4 processes, shrinking below ~3%% at 128.\n");
+    return 0;
+}

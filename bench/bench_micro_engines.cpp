@@ -1,0 +1,83 @@
+// Micro-benchmark (google-benchmark): raw pack-engine throughput on dense
+// and sparse layouts, single-context vs dual-context, plus the reference
+// packer as a lower bound. The argument is the matrix edge of the
+// transpose type (sparse 24-byte blocks) or the double count (dense).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "datatype/engine.hpp"
+#include "datatype/pack.hpp"
+
+namespace {
+
+using namespace nncomm::dt;
+
+void drain(PackEngine& e) {
+    ChunkView chunk;
+    while (e.next_chunk(chunk)) benchmark::DoNotOptimize(chunk.bytes);
+}
+
+void BM_SparsePackSingleContext(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto t = benchutil::transpose_type(n);
+    std::vector<double> m(n * n * 3);
+    std::iota(m.begin(), m.end(), 0.0);
+    for (auto _ : state) {
+        SingleContextEngine e(m.data(), t, 1);
+        drain(e);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n * 24));
+}
+BENCHMARK(BM_SparsePackSingleContext)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SparsePackDualContext(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto t = benchutil::transpose_type(n);
+    std::vector<double> m(n * n * 3);
+    std::iota(m.begin(), m.end(), 0.0);
+    for (auto _ : state) {
+        DualContextEngine e(m.data(), t, 1);
+        drain(e);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n * 24));
+}
+BENCHMARK(BM_SparsePackDualContext)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SparsePackReference(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto t = benchutil::transpose_type(n);
+    std::vector<double> m(n * n * 3);
+    std::iota(m.begin(), m.end(), 0.0);
+    std::vector<std::byte> out(n * n * 24);
+    for (auto _ : state) {
+        TypeCursor cur(&t.flat(), 1);
+        benchmark::DoNotOptimize(pack_bytes(reinterpret_cast<const std::byte*>(m.data()), cur,
+                                            std::span<std::byte>(out)));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n * 24));
+}
+BENCHMARK(BM_SparsePackReference)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_DensePack(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto t = Datatype::contiguous(n, Datatype::float64());
+    std::vector<double> m(n);
+    std::iota(m.begin(), m.end(), 0.0);
+    for (auto _ : state) {
+        DualContextEngine e(m.data(), t, 1);
+        drain(e);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 8));
+}
+BENCHMARK(BM_DensePack)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Micro-benchmark (google-benchmark): Floyd–Rivest k-select against
+// std::nth_element and full std::sort — the primitive behind the Eq. 1
+// outlier analysis, which must stay linear-time since it runs on every
+// Auto allgatherv call.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kselect.hpp"
+#include "core/outlier.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+std::vector<std::uint64_t> make_volumes(std::size_t n) {
+    // A realistic communication-volume set: mostly small with a few heavy
+    // outliers.
+    nncomm::Rng rng(42);
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng.uniform_u64(8, 4096);
+    for (std::size_t i = 0; i < n; i += 97) v[i] = 32 * 1024 * 1024;
+    return v;
+}
+
+void BM_FloydRivestKselect(benchmark::State& state) {
+    const auto base = make_volumes(static_cast<std::size_t>(state.range(0)));
+    std::vector<std::uint64_t> scratch;
+    for (auto _ : state) {
+        scratch = base;
+        benchmark::DoNotOptimize(
+            nncomm::kselect(std::span<std::uint64_t>(scratch), scratch.size() * 9 / 10));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FloydRivestKselect)->Range(64, 1 << 20);
+
+void BM_NthElement(benchmark::State& state) {
+    const auto base = make_volumes(static_cast<std::size_t>(state.range(0)));
+    std::vector<std::uint64_t> scratch;
+    for (auto _ : state) {
+        scratch = base;
+        const auto k = scratch.size() * 9 / 10;
+        std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                         scratch.end());
+        benchmark::DoNotOptimize(scratch[k]);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NthElement)->Range(64, 1 << 20);
+
+void BM_FullSort(benchmark::State& state) {
+    const auto base = make_volumes(static_cast<std::size_t>(state.range(0)));
+    std::vector<std::uint64_t> scratch;
+    for (auto _ : state) {
+        scratch = base;
+        std::sort(scratch.begin(), scratch.end());
+        benchmark::DoNotOptimize(scratch[scratch.size() * 9 / 10]);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullSort)->Range(64, 1 << 20);
+
+void BM_OutlierAnalysis(benchmark::State& state) {
+    const auto base = make_volumes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(nncomm::analyze_volumes(base));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OutlierAnalysis)->Range(64, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

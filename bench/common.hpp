@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datatype/datatype.hpp"
+
+namespace benchutil {
+
+/// The paper's transpose datatype (Figures 4-6): an n x n matrix whose
+/// elements are 3 contiguous doubles, traversed column-major. One column is
+/// a vector of n single elements with stride n; the whole matrix is n
+/// columns, each starting one element after the previous.
+inline nncomm::dt::Datatype transpose_type(std::size_t n) {
+    using nncomm::dt::Datatype;
+    auto elem = Datatype::contiguous(3, Datatype::float64());
+    auto col = Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), elem);
+    auto col_resized = Datatype::resized(col, 0, elem.extent());
+    return Datatype::contiguous(n, col_resized);
+}
+
+inline double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    double ms() const {
+        return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                         start_)
+            .count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+inline double improvement_pct(double baseline, double optimized) {
+    return baseline > 0.0 ? 100.0 * (baseline - optimized) / baseline : 0.0;
+}
+
+/// Simple fixed-width table printer for paper-style output.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+        for (const auto& row : rows_) {
+            for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+                width[i] = std::max(width[i], row[i].size());
+            }
+        }
+        auto print_row = [&](const std::vector<std::string>& row) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                std::printf("%-*s  ", static_cast<int>(width[i]), row[i].c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::size_t total = 0;
+        for (auto w : width) total += w + 2;
+        for (std::size_t i = 0; i < total; ++i) std::printf("-");
+        std::printf("\n");
+        for (const auto& row : rows_) print_row(row);
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string fmt_pct(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+    return buf;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,62 @@
+// Solid-fuel ignition (Bratu): -Δu - λ e^u = 0 on the unit square, solved
+// with Newton–Krylov (SNES over KSP over the communication stack) — the
+// canonical nonlinear PETSc example, here exercising the paper's scatter
+// backends through every Jacobian assembly and matvec.
+//
+// Sweeps λ toward the critical value (~6.81 in 2-D) and prints the Newton
+// convergence history; near the fold the problem stiffens and Newton needs
+// more iterations (and eventually fails) — physically, ignition.
+#include <cstdio>
+
+#include "petsckit/bratu.hpp"
+
+using namespace nncomm;
+using pk::BratuProblem;
+using pk::DMDA;
+using pk::GridSize;
+using pk::SnesConfig;
+using pk::Stencil;
+using pk::Vec;
+
+int main() {
+    constexpr int kRanks = 4;
+    std::printf("Bratu problem -Δu = λ e^u on a 33x33 grid, %d ranks\n", kRanks);
+    std::printf("%8s  %10s  %8s  %14s  %12s\n", "lambda", "converged", "newton",
+                "total CG iters", "max(u)");
+
+    for (double lambda : {0.5, 2.0, 4.0, 6.0, 6.8}) {
+        rt::World world(kRanks);
+        world.run([&](rt::Comm& comm) {
+            auto da =
+                std::make_shared<const DMDA>(comm, 2, GridSize{33, 33, 1}, 1, 1, Stencil::Star);
+            BratuProblem problem(da, lambda);
+            Vec x = da->create_global();  // zero initial guess
+            SnesConfig cfg;
+            cfg.max_iters = 30;
+            cfg.scatter_backend = pk::ScatterBackend::DatatypeOptimized;
+
+            bool converged = false;
+            int newton_its = 0, cg_its = 0;
+            double umax = 0.0;
+            try {
+                auto res = pk::newton_solve(problem, x, cfg);
+                converged = res.converged;
+                newton_its = res.iterations;
+                cg_its = res.total_ksp_iterations;
+                double local = 0.0;
+                for (double v : x.local()) local = std::max(local, v);
+                umax = coll::allreduce_one(comm, local, coll::ReduceOp::Max);
+            } catch (const nncomm::Error&) {
+                // CG detected an indefinite Jacobian: past the fold.
+            }
+            if (comm.rank() == 0) {
+                std::printf("%8.2f  %10s  %8d  %14d  %12.5f\n", lambda,
+                            converged ? "yes" : "NO", newton_its, cg_its, umax);
+            }
+        });
+    }
+    std::printf("\nthe solution amplitude grows with lambda and Newton slows as the\n"
+                "turning point (~6.81) approaches — each iteration running ghost\n"
+                "exchanges, scatter-backed Jacobian matvecs and allreduces.\n");
+    return 0;
+}

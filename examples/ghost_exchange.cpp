@@ -1,0 +1,76 @@
+// Ghost exchange on a 2-D distributed grid: star vs box stencils.
+//
+// Demonstrates the paper's §2.1 observation: with a box stencil, the
+// per-neighbor communication volumes are strongly nonuniform (faces get
+// whole slabs, corners a handful of points), and ranks exchange nothing at
+// all with non-neighbors — exactly the pattern the binned Alltoallw is
+// built for. The example prints each rank's neighbor volumes and runs the
+// exchange under both the round-robin baseline and the binned algorithm,
+// verifying they fill identical ghost regions.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "petsckit/dmda.hpp"
+
+using namespace nncomm;
+using pk::DMDA;
+using pk::GridSize;
+using pk::Index;
+using pk::Stencil;
+
+int main() {
+    constexpr int kRanks = 4;
+    constexpr Index kGrid = 16;
+    std::mutex print_mu;
+
+    for (Stencil stencil : {Stencil::Star, Stencil::Box}) {
+        std::printf("=== %s stencil, %lldx%lld grid on %d ranks ===\n",
+                    stencil == Stencil::Star ? "star" : "box", static_cast<long long>(kGrid),
+                    static_cast<long long>(kGrid), kRanks);
+        rt::World world(kRanks);
+        world.run([&](rt::Comm& comm) {
+            DMDA da(comm, 2, GridSize{kGrid, kGrid, 1}, /*dof=*/1, /*sw=*/1, stencil);
+
+            {
+                std::lock_guard<std::mutex> lk(print_mu);
+                const auto& o = da.owned();
+                std::printf("[rank %d] owns [%lld..%lld) x [%lld..%lld); neighbors:",
+                            comm.rank(), static_cast<long long>(o.xs),
+                            static_cast<long long>(o.xs + o.xm), static_cast<long long>(o.ys),
+                            static_cast<long long>(o.ys + o.ym));
+                for (const auto& nb : da.neighbors()) {
+                    std::printf(" r%d(%+d,%+d)=%lluB", nb.rank, nb.dx, nb.dy,
+                                static_cast<unsigned long long>(nb.send_bytes));
+                }
+                std::printf("\n");
+            }
+
+            // Fill the global vector with each point's global x + 100*y.
+            pk::Vec v = da.create_global();
+            const auto& o = da.owned();
+            std::size_t at = 0;
+            for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+                for (Index i = o.xs; i < o.xs + o.xm; ++i, ++at) {
+                    v.data()[at] = static_cast<double>(i) + 100.0 * static_cast<double>(j);
+                }
+            }
+
+            // Exchange ghosts with both Alltoallw algorithms and compare.
+            auto baseline = da.create_local();
+            auto binned = da.create_local();
+            coll::CollConfig cfg;
+            cfg.alltoallw_algo = coll::AlltoallwAlgo::RoundRobin;
+            da.global_to_local(v, baseline, cfg);
+            cfg.alltoallw_algo = coll::AlltoallwAlgo::Binned;
+            da.global_to_local(v, binned, cfg);
+
+            bool identical = baseline == binned;
+            std::lock_guard<std::mutex> lk(print_mu);
+            std::printf("[rank %d] round-robin and binned ghost regions identical: %s\n",
+                        comm.rank(), identical ? "yes" : "NO");
+        });
+        std::printf("\n");
+    }
+    return 0;
+}

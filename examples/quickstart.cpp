@@ -1,0 +1,71 @@
+// Quickstart: the three layers of nncomm in ~80 lines.
+//
+//   1. Describe noncontiguous data with derived datatypes and send it
+//      through the threaded runtime (the engine packs it; pick baseline or
+//      dual-context).
+//   2. Run a nonuniform collective — Allgatherv with one outlier volume —
+//      and let the outlier-aware Auto algorithm pick recursive doubling.
+//   3. Read the instrumentation that the paper's figures are built from.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "runtime/comm.hpp"
+
+using namespace nncomm;
+
+int main() {
+    rt::World world(4);
+    world.run([](rt::Comm& comm) {
+        // ---- 1. derived datatypes ---------------------------------------
+        // A column of an 8x8 matrix of doubles: 8 one-element blocks with
+        // stride 8 (Figure 5 of the paper).
+        constexpr std::size_t n = 8;
+        auto column = dt::Datatype::vector(n, 1, n, dt::Datatype::float64());
+
+        comm.set_engine(dt::EngineKind::DualContext);  // the paper's engine
+        if (comm.rank() == 0) {
+            std::vector<double> matrix(n * n);
+            std::iota(matrix.begin(), matrix.end(), 0.0);
+            comm.send(matrix.data(), 1, column, /*dest=*/1, /*tag=*/0);
+        } else if (comm.rank() == 1) {
+            std::vector<double> col(n);
+            comm.recv(col.data(), n * 8, dt::Datatype::byte(), 0, 0);
+            std::printf("[rank 1] received column 0: %.0f %.0f %.0f ... %.0f\n", col[0],
+                        col[1], col[2], col[7]);
+        }
+        comm.barrier();
+
+        // ---- 2. nonuniform collective -----------------------------------
+        // Rank 0 contributes 1024 doubles; everyone else one double. The
+        // Auto algorithm detects the outlier (Eq. 1, Floyd-Rivest k-select)
+        // and avoids the ring.
+        const std::size_t mine = comm.rank() == 0 ? 1024 : 1;
+        std::vector<double> contribution(mine, comm.rank() + 0.5);
+        std::vector<std::size_t> counts{1024, 1, 1, 1};
+        std::vector<std::size_t> displs{0, 1024, 1025, 1026};
+        std::vector<double> gathered(1027);
+        coll::allgatherv(comm, contribution.data(), mine, dt::Datatype::float64(),
+                         gathered.data(), counts, displs, dt::Datatype::float64());
+        if (comm.rank() == 2) {
+            std::printf("[rank 2] allgatherv: block0=%.1f block1=%.1f block3=%.1f\n",
+                        gathered[0], gathered[1024], gathered[1026]);
+        }
+        comm.barrier();
+
+        // ---- 3. instrumentation ------------------------------------------
+        if (comm.rank() == 0) {
+            const auto& ctr = comm.counters();
+            std::printf("[rank 0] engine stats: %llu bytes packed, %llu look-ahead blocks, "
+                        "%llu re-searches\n",
+                        static_cast<unsigned long long>(ctr.bytes_packed),
+                        static_cast<unsigned long long>(ctr.lookahead_blocks),
+                        static_cast<unsigned long long>(ctr.search_events));
+        }
+    });
+    std::printf("quickstart done.\n");
+    return 0;
+}

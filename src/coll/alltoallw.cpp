@@ -1,0 +1,151 @@
+// MPI_Alltoallw with selectable algorithms (paper §4.2.2).
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "coll/util.hpp"
+
+namespace nncomm::coll {
+
+namespace {
+
+constexpr int kTagBase = rt::kInternalTagBase + 0x200;
+
+// Baseline: blocking pairwise exchange with EVERY rank in round-robin
+// order, including zero-byte messages. Each step synchronizes the pair, so
+// zero-volume peers still cost a round trip, and a large noncontiguous
+// message to an early peer delays the packing for every later peer.
+void alltoallw_round_robin(rt::Comm& comm, const void* sendbuf,
+                           std::span<const std::size_t> sendcounts,
+                           std::span<const std::ptrdiff_t> sdispls,
+                           std::span<const dt::Datatype> sendtypes, void* recvbuf,
+                           std::span<const std::size_t> recvcounts,
+                           std::span<const std::ptrdiff_t> rdispls,
+                           std::span<const dt::Datatype> recvtypes) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    for (int i = 0; i < n; ++i) {
+        const int dst = (rank + i) % n;
+        const int src = (rank - i + n) % n;
+        const auto d = static_cast<std::size_t>(dst);
+        const auto s = static_cast<std::size_t>(src);
+        const std::byte* sp = static_cast<const std::byte*>(sendbuf) + sdispls[d];
+        std::byte* rp = static_cast<std::byte*>(recvbuf) + rdispls[s];
+        if (i == 0) {
+            detail::copy_typed(sp, sendcounts[d], sendtypes[d], rp, recvcounts[s],
+                               recvtypes[s]);
+            continue;
+        }
+        comm.sendrecv_i(sp, sendcounts[d], sendtypes[d], dst, kTagBase + i, rp, recvcounts[s],
+                        recvtypes[s], src, kTagBase + i);
+    }
+}
+
+// The paper's binned design: peers are divided into zero / small / large
+// volume bins. Zero-volume peers are exempted entirely (no synchronizing
+// empty message); small-volume sends are processed (packed) before large
+// ones so cheap peers are not delayed behind expensive noncontiguous
+// packing.
+void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
+                      std::span<const std::size_t> sendcounts,
+                      std::span<const std::ptrdiff_t> sdispls,
+                      std::span<const dt::Datatype> sendtypes, void* recvbuf,
+                      std::span<const std::size_t> recvcounts,
+                      std::span<const std::ptrdiff_t> rdispls,
+                      std::span<const dt::Datatype> recvtypes, const CollConfig& config) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+
+    // Post all nonzero receives up front.
+    std::vector<rt::Request> recv_reqs;
+    recv_reqs.reserve(static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src) {
+        if (src == rank) continue;
+        const auto s = static_cast<std::size_t>(src);
+        if (recvcounts[s] * recvtypes[s].size() == 0) continue;
+        std::byte* rp = static_cast<std::byte*>(recvbuf) + rdispls[s];
+        recv_reqs.push_back(
+            comm.irecv_i(rp, recvcounts[s], recvtypes[s], src, kTagBase + 0x80));
+    }
+
+    // Local exchange.
+    {
+        const auto r = static_cast<std::size_t>(rank);
+        if (sendcounts[r] * sendtypes[r].size() > 0) {
+            detail::copy_typed(static_cast<const std::byte*>(sendbuf) + sdispls[r],
+                               sendcounts[r], sendtypes[r],
+                               static_cast<std::byte*>(recvbuf) + rdispls[r], recvcounts[r],
+                               recvtypes[r]);
+        }
+    }
+
+    // Bin peers by send volume: zero (exempt), small, large. Within each
+    // bin, smallest volume first, so the cheapest peers unblock earliest.
+    struct Peer {
+        int rank;
+        std::uint64_t volume;
+    };
+    std::vector<Peer> small_bin, large_bin;
+    for (int dst = 0; dst < n; ++dst) {
+        if (dst == rank) continue;
+        const auto d = static_cast<std::size_t>(dst);
+        const std::uint64_t vol =
+            static_cast<std::uint64_t>(sendcounts[d]) * sendtypes[d].size();
+        if (vol == 0) continue;  // the zero bin: completely exempted
+        if (vol < config.small_msg_threshold) small_bin.push_back({dst, vol});
+        else large_bin.push_back({dst, vol});
+    }
+    auto by_volume = [](const Peer& a, const Peer& b) {
+        return a.volume < b.volume || (a.volume == b.volume && a.rank < b.rank);
+    };
+    std::sort(small_bin.begin(), small_bin.end(), by_volume);
+    std::sort(large_bin.begin(), large_bin.end(), by_volume);
+
+    for (const auto& bin : {small_bin, large_bin}) {
+        for (const Peer& p : bin) {
+            const auto d = static_cast<std::size_t>(p.rank);
+            comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
+                         sendtypes[d], p.rank, kTagBase + 0x80);
+        }
+    }
+
+    comm.waitall(recv_reqs);
+}
+
+}  // namespace
+
+void alltoallw(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> sendcounts,
+               std::span<const std::ptrdiff_t> sdispls, std::span<const dt::Datatype> sendtypes,
+               void* recvbuf, std::span<const std::size_t> recvcounts,
+               std::span<const std::ptrdiff_t> rdispls, std::span<const dt::Datatype> recvtypes,
+               const CollConfig& config) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    NNCOMM_CHECK_MSG(sendcounts.size() == n && sdispls.size() == n && sendtypes.size() == n &&
+                         recvcounts.size() == n && rdispls.size() == n && recvtypes.size() == n,
+                     "alltoallw: all argument arrays must have one entry per rank");
+
+    const AlltoallwAlgo algo = (config.alltoallw_algo == AlltoallwAlgo::Auto)
+                                   ? AlltoallwAlgo::Binned
+                                   : config.alltoallw_algo;
+    if (algo == AlltoallwAlgo::RoundRobin) {
+        alltoallw_round_robin(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf,
+                              recvcounts, rdispls, recvtypes);
+    } else {
+        alltoallw_binned(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf, recvcounts,
+                         rdispls, recvtypes, config);
+    }
+}
+
+void alltoall(rt::Comm& comm, const void* sendbuf, std::size_t count, const dt::Datatype& type,
+              void* recvbuf, const CollConfig& config) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    const std::ptrdiff_t slot = static_cast<std::ptrdiff_t>(count) * type.extent();
+    std::vector<std::size_t> counts(n, count);
+    std::vector<std::ptrdiff_t> displs(n);
+    std::vector<dt::Datatype> types(n, type);
+    for (std::size_t i = 0; i < n; ++i) displs[i] = static_cast<std::ptrdiff_t>(i) * slot;
+    alltoallw(comm, sendbuf, counts, displs, types, recvbuf, counts, displs, types, config);
+}
+
+}  // namespace nncomm::coll

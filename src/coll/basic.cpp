@@ -1,0 +1,109 @@
+// Rooted collectives: binomial broadcast, gather(v), scatter(v).
+#include "coll/collectives.hpp"
+#include "coll/util.hpp"
+
+namespace nncomm::coll {
+
+namespace {
+constexpr int kTagBcast = rt::kInternalTagBase + 0x300;
+constexpr int kTagGather = rt::kInternalTagBase + 0x301;
+constexpr int kTagScatter = rt::kInternalTagBase + 0x302;
+}  // namespace
+
+void bcast(rt::Comm& comm, void* buf, std::size_t count, const dt::Datatype& type, int root) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    NNCOMM_CHECK_MSG(root >= 0 && root < n, "bcast: invalid root");
+    if (n == 1) return;
+    const int vrank = (rank - root + n) % n;
+
+    // Receive once from the parent (the rank that differs in the lowest set
+    // bit), then forward down the binomial tree.
+    int mask = 1;
+    while (mask < n) {
+        if ((vrank & mask) != 0) {
+            const int src = ((vrank - mask) + root) % n;
+            comm.recv_i(buf, count, type, src, kTagBcast);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+        if (vrank + mask < n) {
+            const int dst = ((vrank + mask) + root) % n;
+            comm.send_i(buf, count, type, dst, kTagBcast);
+        }
+        mask >>= 1;
+    }
+}
+
+void gatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
+             const dt::Datatype& sendtype, void* recvbuf,
+             std::span<const std::size_t> recvcounts, std::span<const std::size_t> displs,
+             const dt::Datatype& recvtype, int root) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    NNCOMM_CHECK_MSG(root >= 0 && root < n, "gatherv: invalid root");
+    if (rank != root) {
+        comm.send_i(sendbuf, sendcount, sendtype, root, kTagGather);
+        return;
+    }
+    NNCOMM_CHECK_MSG(recvcounts.size() == static_cast<std::size_t>(n) &&
+                         displs.size() == static_cast<std::size_t>(n),
+                     "gatherv: root needs one count/displacement per rank");
+    std::vector<rt::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(n - 1));
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        std::byte* dst = static_cast<std::byte*>(recvbuf) +
+                         static_cast<std::ptrdiff_t>(displs[s]) * recvtype.extent();
+        if (i == rank) {
+            detail::copy_typed(sendbuf, sendcount, sendtype, dst, recvcounts[s], recvtype);
+        } else {
+            reqs.push_back(comm.irecv_i(dst, recvcounts[s], recvtype, i, kTagGather));
+        }
+    }
+    comm.waitall(reqs);
+}
+
+void gather(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
+            const dt::Datatype& sendtype, void* recvbuf, std::size_t recvcount,
+            const dt::Datatype& recvtype, int root) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> displs;
+    if (comm.rank() == root) {
+        counts.assign(n, recvcount);
+        displs.resize(n);
+        for (std::size_t i = 0; i < n; ++i) displs[i] = i * recvcount;
+    }
+    gatherv(comm, sendbuf, sendcount, sendtype, recvbuf, counts, displs, recvtype, root);
+}
+
+void scatterv(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> sendcounts,
+              std::span<const std::size_t> displs, const dt::Datatype& sendtype, void* recvbuf,
+              std::size_t recvcount, const dt::Datatype& recvtype, int root) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    NNCOMM_CHECK_MSG(root >= 0 && root < n, "scatterv: invalid root");
+    if (rank != root) {
+        comm.recv_i(recvbuf, recvcount, recvtype, root, kTagScatter);
+        return;
+    }
+    NNCOMM_CHECK_MSG(sendcounts.size() == static_cast<std::size_t>(n) &&
+                         displs.size() == static_cast<std::size_t>(n),
+                     "scatterv: root needs one count/displacement per rank");
+    for (int i = 0; i < n; ++i) {
+        const auto s = static_cast<std::size_t>(i);
+        const std::byte* src = static_cast<const std::byte*>(sendbuf) +
+                               static_cast<std::ptrdiff_t>(displs[s]) * sendtype.extent();
+        if (i == rank) {
+            detail::copy_typed(src, sendcounts[s], sendtype, recvbuf, recvcount, recvtype);
+        } else {
+            comm.send_i(src, sendcounts[s], sendtype, i, kTagScatter);
+        }
+    }
+}
+
+}  // namespace nncomm::coll

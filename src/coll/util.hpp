@@ -1,0 +1,50 @@
+// Shared helpers for the collective implementations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "datatype/pack.hpp"
+#include "runtime/comm.hpp"
+
+namespace nncomm::coll::detail {
+
+/// Datatype-converting local copy (the MPI "self send"): packs the send
+/// layout and unpacks it into the receive layout. Sizes must agree.
+inline void copy_typed(const void* src, std::size_t scount, const dt::Datatype& stype,
+                       void* dst, std::size_t rcount, const dt::Datatype& rtype) {
+    const std::size_t bytes = scount * stype.size();
+    NNCOMM_CHECK_MSG(bytes == rcount * rtype.size(), "typed copy: size mismatch");
+    if (bytes == 0) return;
+    if (stype.flat().contiguous() && rtype.flat().contiguous()) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    auto packed = dt::pack_all(src, stype, scount);
+    dt::unpack_all(dst, rtype, rcount, packed);
+}
+
+/// Builds an hindexed datatype addressing recvbuf blocks `first..first+n-1`
+/// (indices taken modulo nblocks, enumerated oldest-first) of an
+/// allgatherv result layout: block b = recvcounts[b] elements of `elem` at
+/// element offset displs[b]. Used to send/receive several blocks of the
+/// result buffer as one noncontiguous message.
+inline dt::Datatype block_range_type(std::span<const std::size_t> recvcounts,
+                                     std::span<const std::size_t> displs,
+                                     const dt::Datatype& elem, int first, int n) {
+    const int nblocks = static_cast<int>(recvcounts.size());
+    std::vector<std::size_t> lens;
+    std::vector<std::ptrdiff_t> offs;
+    lens.reserve(static_cast<std::size_t>(n));
+    offs.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        const int b = ((first + t) % nblocks + nblocks) % nblocks;
+        lens.push_back(recvcounts[static_cast<std::size_t>(b)]);
+        offs.push_back(static_cast<std::ptrdiff_t>(displs[static_cast<std::size_t>(b)]) *
+                       elem.extent());
+    }
+    return dt::Datatype::hindexed(lens, offs, elem);
+}
+
+}  // namespace nncomm::coll::detail

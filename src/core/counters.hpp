@@ -1,0 +1,110 @@
+// Lightweight statistics counters and phase timers.
+//
+// Figure 13 of the paper breaks datatype-processing time into Comm, Pack
+// and Search phases. PhaseTimers accumulates wall-clock per named phase;
+// StatCounters accumulates event counts (blocks searched, bytes packed,
+// look-ahead elements parsed, ...). Both are plain value types — each rank
+// or engine owns its own instance, so no synchronization is needed.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace nncomm {
+
+/// Phases instrumented by the datatype engines and the runtime send path.
+enum class Phase : int {
+    Comm = 0,    ///< time spent moving bytes between ranks
+    Pack = 1,    ///< time spent copying noncontiguous data into pack buffers
+    Search = 2,  ///< time spent re-locating the pack position in the datatype
+    Other = 3,
+};
+
+inline const char* phase_name(Phase p) {
+    switch (p) {
+        case Phase::Comm: return "Comm";
+        case Phase::Pack: return "Pack";
+        case Phase::Search: return "Search";
+        case Phase::Other: return "Other";
+    }
+    return "?";
+}
+
+/// Accumulates nanoseconds per phase. Scoped measurement via PhaseScope.
+class PhaseTimers {
+public:
+    static constexpr int kNumPhases = 4;
+
+    void add(Phase p, std::chrono::nanoseconds dt) {
+        ns_[static_cast<int>(p)] += static_cast<std::uint64_t>(dt.count());
+    }
+    void add_ns(Phase p, std::uint64_t ns) { ns_[static_cast<int>(p)] += ns; }
+
+    std::uint64_t ns(Phase p) const { return ns_[static_cast<int>(p)]; }
+    double seconds(Phase p) const { return static_cast<double>(ns(p)) * 1e-9; }
+
+    std::uint64_t total_ns() const {
+        std::uint64_t t = 0;
+        for (auto v : ns_) t += v;
+        return t;
+    }
+
+    void reset() { ns_.fill(0); }
+
+    PhaseTimers& operator+=(const PhaseTimers& other) {
+        for (int i = 0; i < kNumPhases; ++i) ns_[static_cast<std::size_t>(i)] += other.ns_[static_cast<std::size_t>(i)];
+        return *this;
+    }
+
+private:
+    std::array<std::uint64_t, kNumPhases> ns_{};
+};
+
+/// RAII scope that charges its lifetime to one phase of a PhaseTimers.
+class PhaseScope {
+public:
+    PhaseScope(PhaseTimers& timers, Phase phase)
+        : timers_(timers), phase_(phase), start_(std::chrono::steady_clock::now()) {}
+    ~PhaseScope() { timers_.add(phase_, std::chrono::steady_clock::now() - start_); }
+
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+private:
+    PhaseTimers& timers_;
+    Phase phase_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Event counters for datatype-engine behaviour. These are what the
+/// quadratic-search analysis is stated in terms of: the baseline engine's
+/// `search_blocks_visited` grows quadratically with datatype size, the
+/// dual-context engine's stays zero while `lookahead_blocks` stays ~linear.
+struct StatCounters {
+    std::uint64_t bytes_packed = 0;
+    std::uint64_t blocks_packed = 0;
+    std::uint64_t search_events = 0;          ///< how many times a re-search ran
+    std::uint64_t search_blocks_visited = 0;  ///< blocks walked during re-searches
+    std::uint64_t lookahead_events = 0;
+    std::uint64_t lookahead_blocks = 0;       ///< signature elements parsed ahead
+    std::uint64_t dense_chunks = 0;
+    std::uint64_t sparse_chunks = 0;
+
+    void reset() { *this = StatCounters{}; }
+
+    StatCounters& operator+=(const StatCounters& o) {
+        bytes_packed += o.bytes_packed;
+        blocks_packed += o.blocks_packed;
+        search_events += o.search_events;
+        search_blocks_visited += o.search_blocks_visited;
+        lookahead_events += o.lookahead_events;
+        lookahead_blocks += o.lookahead_blocks;
+        dense_chunks += o.dense_chunks;
+        sparse_chunks += o.sparse_chunks;
+        return *this;
+    }
+};
+
+}  // namespace nncomm

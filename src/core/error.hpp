@@ -1,0 +1,50 @@
+// Error handling primitives shared by every nncomm module.
+//
+// The library throws nncomm::Error for precondition violations and
+// unrecoverable runtime failures. NNCOMM_CHECK is used at public API
+// boundaries (always on); NNCOMM_ASSERT guards internal invariants and
+// compiles to nothing in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace nncomm {
+
+/// Exception type thrown on contract violations and runtime failures.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* cond, const char* file, int line,
+                              const std::string& msg) {
+    std::string full = std::string(kind) + " failed: " + cond + " at " + file + ":" +
+                       std::to_string(line);
+    if (!msg.empty()) full += " — " + msg;
+    throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace nncomm
+
+#define NNCOMM_CHECK(cond)                                                            \
+    do {                                                                              \
+        if (!(cond)) ::nncomm::detail::fail("check", #cond, __FILE__, __LINE__, ""); \
+    } while (0)
+
+#define NNCOMM_CHECK_MSG(cond, msg)                                                     \
+    do {                                                                                \
+        if (!(cond)) ::nncomm::detail::fail("check", #cond, __FILE__, __LINE__, (msg)); \
+    } while (0)
+
+#ifdef NDEBUG
+#define NNCOMM_ASSERT(cond) ((void)0)
+#else
+#define NNCOMM_ASSERT(cond)                                                            \
+    do {                                                                               \
+        if (!(cond)) ::nncomm::detail::fail("assert", #cond, __FILE__, __LINE__, ""); \
+    } while (0)
+#endif

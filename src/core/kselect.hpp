@@ -1,0 +1,100 @@
+// Floyd–Rivest SELECT: expected-linear-time k-th smallest element.
+//
+// The paper (§4.2.1) identifies nonuniformities in the communication-volume
+// set by comparing order statistics obtained with "the algorithm by Floyd
+// and Rivest to evaluate k_select() in linear time". This header implements
+// that algorithm (Floyd & Rivest, CACM 1975, algorithm SELECT with the
+// sampling refinement) for arbitrary random-access ranges.
+//
+// kselect(values, k) returns the k-th smallest element with k in [1, n]
+// (1-based, matching the paper's notation where k_select(S, N) is the
+// maximum of an N-element set). The input span is permuted in place, as
+// with std::nth_element.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nncomm {
+
+namespace detail {
+
+// Floyd–Rivest SELECT on v[left..right] (inclusive), positioning the element
+// of rank `k` (0-based absolute index into v) at v[k].
+template <typename T>
+void floyd_rivest_select(std::span<T> v, std::ptrdiff_t left, std::ptrdiff_t right,
+                         std::ptrdiff_t k) {
+    using std::swap;
+    while (right > left) {
+        // For large ranges, recursively select a pivot from a sample so the
+        // expected number of comparisons approaches n + min(k, n-k).
+        if (right - left > 600) {
+            const double n = static_cast<double>(right - left + 1);
+            const double i = static_cast<double>(k - left + 1);
+            const double z = std::log(n);
+            const double s = 0.5 * std::exp(2.0 * z / 3.0);
+            const double sign = (i - n / 2.0 < 0) ? -1.0 : 1.0;
+            const double sd = 0.5 * std::sqrt(z * s * (n - s) / n) * sign;
+            const auto new_left = std::max(
+                left, static_cast<std::ptrdiff_t>(static_cast<double>(k) - i * s / n + sd));
+            const auto new_right = std::min(
+                right,
+                static_cast<std::ptrdiff_t>(static_cast<double>(k) + (n - i) * s / n + sd));
+            floyd_rivest_select(v, new_left, new_right, k);
+        }
+        // Partition around v[k] (three-way-ish Hoare partition from the
+        // original algorithm).
+        const T t = v[static_cast<std::size_t>(k)];
+        std::ptrdiff_t i = left;
+        std::ptrdiff_t j = right;
+        swap(v[static_cast<std::size_t>(left)], v[static_cast<std::size_t>(k)]);
+        if (v[static_cast<std::size_t>(right)] > t) {
+            swap(v[static_cast<std::size_t>(right)], v[static_cast<std::size_t>(left)]);
+        }
+        while (i < j) {
+            swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+            ++i;
+            --j;
+            while (v[static_cast<std::size_t>(i)] < t) ++i;
+            while (v[static_cast<std::size_t>(j)] > t) --j;
+        }
+        if (v[static_cast<std::size_t>(left)] == t) {
+            swap(v[static_cast<std::size_t>(left)], v[static_cast<std::size_t>(j)]);
+        } else {
+            ++j;
+            swap(v[static_cast<std::size_t>(j)], v[static_cast<std::size_t>(right)]);
+        }
+        // Narrow the range to the side containing rank k.
+        if (j <= k) left = j + 1;
+        if (k <= j) right = j - 1;
+    }
+}
+
+}  // namespace detail
+
+/// Returns the k-th smallest element (1-based rank) of `values`, permuting
+/// the span in place. kselect(v, 1) is the minimum; kselect(v, v.size())
+/// is the maximum.
+template <typename T>
+T kselect(std::span<T> values, std::size_t k) {
+    NNCOMM_CHECK_MSG(!values.empty(), "kselect of empty set");
+    NNCOMM_CHECK_MSG(k >= 1 && k <= values.size(), "kselect rank out of range");
+    detail::floyd_rivest_select(values, 0, static_cast<std::ptrdiff_t>(values.size()) - 1,
+                                static_cast<std::ptrdiff_t>(k - 1));
+    return values[k - 1];
+}
+
+/// Non-destructive convenience overload: copies, then selects.
+template <typename T>
+T kselect_copy(std::span<const T> values, std::size_t k) {
+    std::vector<T> tmp(values.begin(), values.end());
+    return kselect(std::span<T>(tmp), k);
+}
+
+}  // namespace nncomm

@@ -1,0 +1,52 @@
+#include "core/outlier.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/kselect.hpp"
+
+namespace nncomm {
+
+OutlierAnalysis analyze_volumes(std::span<const std::uint64_t> volumes,
+                                const OutlierConfig& config) {
+    NNCOMM_CHECK_MSG(!volumes.empty(), "analyze_volumes: empty volume set");
+    NNCOMM_CHECK_MSG(config.outlier_fract > 0.0 && config.outlier_fract <= 1.0,
+                     "analyze_volumes: outlier_fract must be in (0, 1]");
+
+    OutlierAnalysis out;
+    const std::size_t n = volumes.size();
+    std::vector<std::uint64_t> scratch(volumes.begin(), volumes.end());
+
+    // Rank of the bulk quantile, clamped to [1, n]. With outlier_fract = 0.9
+    // and n = 64 this is the 57th smallest volume.
+    const auto bulk_rank = std::clamp<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(n) * config.outlier_fract), 1, n);
+
+    out.bulk_volume = kselect(std::span<std::uint64_t>(scratch), bulk_rank);
+    out.max_volume = kselect(std::span<std::uint64_t>(scratch), n);
+
+    if (out.bulk_volume == 0) {
+        // All-bulk-zero sets: any nonzero max means pure outliers.
+        out.ratio = (out.max_volume == 0) ? 1.0 : std::numeric_limits<double>::infinity();
+    } else {
+        out.ratio = static_cast<double>(out.max_volume) / static_cast<double>(out.bulk_volume);
+    }
+    out.nonuniform = out.ratio > config.ratio_threshold;
+    return out;
+}
+
+bool volumes_nonuniform(std::span<const std::uint64_t> volumes, const OutlierConfig& config) {
+    return analyze_volumes(volumes, config).nonuniform;
+}
+
+bool allgatherv_use_ring(std::span<const std::uint64_t> volumes,
+                         const AllgathervPolicy& policy) {
+    if (analyze_volumes(volumes, policy.outlier).nonuniform) return false;
+    std::uint64_t total = 0;
+    for (auto v : volumes) total += v;
+    return total >= policy.long_msg_total;
+}
+
+}  // namespace nncomm

@@ -1,0 +1,61 @@
+// Outlier detection over communication-volume sets (paper §4.2.1, Eq. 1).
+//
+//                    k_select(COMM_VOL_SET, N)
+//   outlier_ratio = ---------------------------------------------
+//                    k_select(COMM_VOL_SET, N * OUTLIER_FRACT)
+//
+// i.e. the ratio between the largest volume and the volume at the
+// OUTLIER_FRACT quantile. If a small subset of the volumes falls far
+// outside the range covering the bulk of the messages, the ratio is large
+// and the volume set is declared nonuniform — which drives the collective
+// algorithm selection (ring vs recursive doubling / dissemination).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace nncomm {
+
+/// Tunables for Eq. 1. The defaults mirror the paper's framing: volumes are
+/// "outliers" when the top (1 - fraction) of the set is at least
+/// `ratio_threshold` times the bulk.
+struct OutlierConfig {
+    /// Fraction of processes whose volumes are considered "the bulk".
+    double outlier_fract = 0.9;
+    /// Ratio above which the volume set is declared nonuniform.
+    double ratio_threshold = 4.0;
+};
+
+/// Result of analyzing one communication-volume set.
+struct OutlierAnalysis {
+    double ratio = 1.0;        ///< Eq. 1 value (>= 1 when bulk volume > 0).
+    std::uint64_t max_volume = 0;   ///< k_select(S, N)
+    std::uint64_t bulk_volume = 0;  ///< k_select(S, N * OUTLIER_FRACT)
+    bool nonuniform = false;   ///< ratio > config.ratio_threshold
+};
+
+/// Computes Eq. 1 over `volumes` (bytes per process) in expected linear
+/// time via Floyd–Rivest k-select. Zero-volume bulk with a nonzero max is
+/// treated as infinitely nonuniform.
+OutlierAnalysis analyze_volumes(std::span<const std::uint64_t> volumes,
+                                const OutlierConfig& config = {});
+
+/// Convenience: true when the volume set should be treated as nonuniform.
+bool volumes_nonuniform(std::span<const std::uint64_t> volumes,
+                        const OutlierConfig& config = {});
+
+/// Allgatherv algorithm-selection policy (shared by the executable
+/// collectives in src/coll and the simulated schedules in src/netsim so
+/// the two can never disagree): the ring is used only for uniform volume
+/// sets whose total is large; nonuniform or small sets use a
+/// binomial-pattern algorithm (recursive doubling / dissemination).
+struct AllgathervPolicy {
+    OutlierConfig outlier{};
+    std::uint64_t long_msg_total = 512 * 1024;
+};
+
+bool allgatherv_use_ring(std::span<const std::uint64_t> volumes,
+                         const AllgathervPolicy& policy = {});
+
+}  // namespace nncomm

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for tests, workload
+// generators and the cluster skew model.
+//
+// xoshiro256** seeded by splitmix64 — fast, reproducible across platforms,
+// and independent of libstdc++'s distribution implementations (we provide
+// our own uniform/exponential helpers so simulated results are bit-stable).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace nncomm {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& s : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+        const std::uint64_t span = hi - lo + 1;
+        // Rejection-free modulo bias is negligible for our span sizes, but
+        // use Lemire's multiply-shift reduction anyway for uniformity.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(span);
+        return lo + static_cast<std::uint64_t>(m >> 64);
+    }
+
+    std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) {
+        return lo + static_cast<std::int64_t>(
+                        uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Exponential with the given mean (for skew / noise models).
+    double exponential(double mean) {
+        double u = uniform();
+        if (u <= 0.0) u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    bool bernoulli(double p) { return uniform() < p; }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nncomm

@@ -1,0 +1,157 @@
+// TypeCursor: a position within the packed-byte stream of (datatype, count).
+//
+// A cursor is the "context" of the paper's §3.1/§4.1 discussion: a snapshot
+// of how far datatype processing has progressed. It supports
+//   - advance(n): move forward n packed bytes, crossing block and instance
+//     boundaries (O(blocks crossed)),
+//   - block-granular signature walking (peek / skip_block) used by the
+//     look-ahead pass, which touches only the type signature, never data,
+//   - seek_linear(target): the *baseline* recovery operation — rewind to the
+//     type head and walk block-by-block until `target` packed bytes have
+//     been skipped, charging every visited block to
+//     StatCounters::search_blocks_visited. This is deliberately O(position):
+//     it reproduces MPICH2's behaviour of re-searching the entire derived
+//     datatype after the look-ahead has clobbered the single context, which
+//     is what makes the baseline's total search cost quadratic.
+//
+// Copying a cursor is O(1); the dual-context engine exploits exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/counters.hpp"
+#include "core/error.hpp"
+#include "datatype/datatype.hpp"
+#include "datatype/flatten.hpp"
+
+namespace nncomm::dt {
+
+class TypeCursor {
+public:
+    TypeCursor() = default;
+
+    /// Cursor over `count` consecutive instances of `type` (instance i is
+    /// displaced by i * extent, as in an MPI send with count > 1).
+    TypeCursor(const FlatType* flat, std::size_t count) : flat_(flat), count_(count) {
+        NNCOMM_CHECK(flat != nullptr);
+        total_ = static_cast<std::uint64_t>(flat->size()) * count;
+    }
+
+    std::uint64_t position() const { return bytes_; }
+    std::uint64_t total_bytes() const { return total_; }
+    bool at_end() const { return bytes_ == total_; }
+
+    /// Absolute byte offset (from the user buffer base) of the next unread
+    /// byte. Only valid when !at_end().
+    std::ptrdiff_t current_offset() const {
+        const FlatBlock& b = flat_->blocks()[blk_];
+        return instance_base() + b.offset + static_cast<std::ptrdiff_t>(blkoff_);
+    }
+
+    /// Bytes remaining in the current (possibly partially consumed) block.
+    std::size_t current_block_remaining() const {
+        return flat_->blocks()[blk_].length - blkoff_;
+    }
+
+    /// Signature step: consume the rest of the current block without
+    /// touching data. Returns the number of bytes skipped.
+    std::size_t skip_block() {
+        const std::size_t n = current_block_remaining();
+        advance_within_and_roll(n);
+        return n;
+    }
+
+    /// Move forward `n` packed bytes (n <= total - position).
+    void advance(std::uint64_t n) {
+        NNCOMM_ASSERT(bytes_ + n <= total_);
+        while (n > 0) {
+            const std::size_t rem = current_block_remaining();
+            const std::uint64_t step = (n < rem) ? n : rem;
+            advance_within_and_roll(static_cast<std::size_t>(step));
+            n -= step;
+        }
+    }
+
+    void rewind() {
+        rep_ = 0;
+        blk_ = 0;
+        blkoff_ = 0;
+        bytes_ = 0;
+    }
+
+    /// Baseline re-search: walk from the head of the type to packed-byte
+    /// position `target`, counting every block visited. This is the
+    /// quadratic-cost operation the dual-context design eliminates.
+    void seek_linear(std::uint64_t target, StatCounters& counters) {
+        NNCOMM_CHECK_MSG(target <= total_, "seek beyond end of datatype");
+        rewind();
+        ++counters.search_events;
+        while (bytes_ < target) {
+            const std::size_t rem = current_block_remaining();
+            ++counters.search_blocks_visited;
+            if (bytes_ + rem <= target) {
+                advance_within_and_roll(rem);
+            } else {
+                advance_within_and_roll(static_cast<std::size_t>(target - bytes_));
+            }
+        }
+    }
+
+    /// O(1) repositioning using the flattened prefix sums. The optimized
+    /// engine never needs this (its pack context is never lost); it exists
+    /// for unpack paths and tests.
+    void seek_indexed(std::uint64_t target) {
+        NNCOMM_CHECK_MSG(target <= total_, "seek beyond end of datatype");
+        if (target == total_) {
+            bytes_ = total_;
+            rep_ = count_;
+            blk_ = 0;
+            blkoff_ = 0;
+            return;
+        }
+        const std::uint64_t per = flat_->size();
+        rep_ = static_cast<std::size_t>(target / per);
+        const std::uint64_t within = target % per;
+        // Binary search in prefix sums for the block containing `within`.
+        const auto& pre = flat_->prefix_bytes();
+        std::size_t lo = 0, hi = flat_->block_count();
+        while (lo + 1 < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (pre[mid] <= within) lo = mid;
+            else hi = mid;
+        }
+        blk_ = lo;
+        blkoff_ = static_cast<std::size_t>(within - pre[lo]);
+        bytes_ = target;
+    }
+
+private:
+    std::ptrdiff_t instance_base() const {
+        return static_cast<std::ptrdiff_t>(rep_) * flat_->extent();
+    }
+
+    // Advance `n` bytes where n <= current_block_remaining(), rolling to the
+    // next block / instance when the block is exhausted.
+    void advance_within_and_roll(std::size_t n) {
+        blkoff_ += n;
+        bytes_ += n;
+        if (blkoff_ == flat_->blocks()[blk_].length) {
+            blkoff_ = 0;
+            if (++blk_ == flat_->block_count()) {
+                blk_ = 0;
+                ++rep_;
+            }
+        }
+    }
+
+    const FlatType* flat_ = nullptr;
+    std::size_t count_ = 0;
+    std::size_t rep_ = 0;      ///< which type instance
+    std::size_t blk_ = 0;      ///< block within instance
+    std::size_t blkoff_ = 0;   ///< bytes consumed within block
+    std::uint64_t bytes_ = 0;  ///< absolute packed-stream position
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace nncomm::dt

@@ -1,0 +1,168 @@
+#include "datatype/engine.hpp"
+
+#include <cstring>
+
+#include "datatype/pack.hpp"
+
+namespace nncomm::dt {
+
+PackEngine::PackEngine(const void* base, const Datatype& type, std::size_t count,
+                       const EngineConfig& config)
+    : base_(static_cast<const std::byte*>(base)), type_(type), count_(count), config_(config) {
+    NNCOMM_CHECK(type.valid());
+    NNCOMM_CHECK_MSG(config.pipeline_chunk > 0, "pipeline chunk must be > 0");
+    NNCOMM_CHECK_MSG(config.lookahead_blocks > 0, "look-ahead window must be > 0");
+    total_bytes_ = static_cast<std::uint64_t>(type.size()) * count;
+    scratch_.resize(config.pipeline_chunk);
+}
+
+SingleContextEngine::SingleContextEngine(const void* base, const Datatype& type,
+                                         std::size_t count, const EngineConfig& config)
+    : PackEngine(base, type, count, config), cursor_(&type_.flat(), count_) {}
+
+bool SingleContextEngine::next_chunk(ChunkView& out) {
+    if (finished()) return false;
+
+    const std::uint64_t chunk_start = bytes_done_;
+    const std::uint64_t budget64 = std::min<std::uint64_t>(config_.pipeline_chunk,
+                                                           total_bytes_ - bytes_done_);
+    const std::size_t budget = static_cast<std::size_t>(budget64);
+
+    // Look-ahead: walk the (only) context forward over the signature of the
+    // upcoming chunk to decide dense vs sparse, recording the regions as we
+    // go (the dense path sends straight from them). This ADVANCES the
+    // context past the chunk.
+    iov_.clear();
+    std::size_t la_bytes = 0;
+    std::size_t la_blocks = 0;
+    ++counters_.lookahead_events;
+    while (la_bytes < budget && !cursor_.at_end()) {
+        const std::size_t rem = cursor_.current_block_remaining();
+        const std::size_t take = std::min(rem, budget - la_bytes);
+        iov_.emplace_back(base_ + cursor_.current_offset(), take);
+        cursor_.advance(take);
+        la_bytes += take;
+        ++la_blocks;
+    }
+    counters_.lookahead_blocks += la_blocks;
+
+    const double avg = static_cast<double>(la_bytes) / static_cast<double>(la_blocks);
+    const bool dense = avg >= config_.density_threshold;
+
+    if (dense) {
+        // Direct send from the look-ahead regions; the context conveniently
+        // already sits at the chunk end.
+        ++counters_.dense_chunks;
+        counters_.blocks_packed += la_blocks;
+        out.dense = true;
+        out.iov = std::span<const std::pair<const std::byte*, std::size_t>>(iov_.data(),
+                                                                            iov_.size());
+        out.packed = {};
+        out.bytes = la_bytes;
+    } else {
+        // Sparse: packing must start from the pre-look-ahead position, but
+        // this context has moved past it. Recover by re-searching the whole
+        // datatype from its head — the paper's quadratic-cost flaw.
+        {
+            PhaseScope scope(timers_, Phase::Search);
+            cursor_.seek_linear(chunk_start, counters_);
+        }
+        {
+            PhaseScope scope(timers_, Phase::Pack);
+            const std::size_t produced =
+                pack_bytes(base_, cursor_, std::span<std::byte>(scratch_.data(), la_bytes));
+            NNCOMM_CHECK(produced == la_bytes);
+        }
+        ++counters_.sparse_chunks;
+        counters_.blocks_packed += la_blocks;
+        counters_.bytes_packed += la_bytes;
+        out.dense = false;
+        out.iov = {};
+        out.packed = std::span<const std::byte>(scratch_.data(), la_bytes);
+        out.bytes = la_bytes;
+    }
+    bytes_done_ += la_bytes;
+    return true;
+}
+
+DualContextEngine::DualContextEngine(const void* base, const Datatype& type, std::size_t count,
+                                     const EngineConfig& config)
+    : PackEngine(base, type, count, config),
+      pack_ctx_(&type_.flat(), count_),
+      lookahead_ctx_(&type_.flat(), count_) {}
+
+bool DualContextEngine::next_chunk(ChunkView& out) {
+    if (finished()) return false;
+
+    const std::uint64_t budget64 = std::min<std::uint64_t>(config_.pipeline_chunk,
+                                                           total_bytes_ - bytes_done_);
+    const std::size_t budget = static_cast<std::size_t>(budget64);
+
+    // Context 1 (look-ahead): resync to the pack position — an O(1) cursor
+    // copy, the whole point of keeping two contexts — then roll forward
+    // over at most `lookahead_blocks` signature elements. Only signatures
+    // (block lengths) are read; no data is touched.
+    lookahead_ctx_ = pack_ctx_;
+    std::size_t la_bytes = 0;
+    std::size_t la_blocks = 0;
+    ++counters_.lookahead_events;
+    while (la_bytes < budget && la_blocks < config_.lookahead_blocks &&
+           !lookahead_ctx_.at_end()) {
+        const std::size_t rem = lookahead_ctx_.current_block_remaining();
+        const std::size_t take = std::min(rem, budget - la_bytes);
+        lookahead_ctx_.advance(take);
+        la_bytes += take;
+        ++la_blocks;
+    }
+    counters_.lookahead_blocks += la_blocks;
+
+    const double avg = static_cast<double>(la_bytes) / static_cast<double>(la_blocks);
+    const bool dense = avg >= config_.density_threshold;
+
+    std::size_t chunk_bytes = 0;
+    if (dense) {
+        // Direct send: walk context 2 across the chunk recording regions
+        // (signature-only; the transport reads the data).
+        ++counters_.dense_chunks;
+        iov_.clear();
+        while (chunk_bytes < budget && !pack_ctx_.at_end()) {
+            const std::size_t rem = pack_ctx_.current_block_remaining();
+            const std::size_t take = std::min(rem, budget - chunk_bytes);
+            iov_.emplace_back(base_ + pack_ctx_.current_offset(), take);
+            pack_ctx_.advance(take);
+            chunk_bytes += take;
+        }
+        counters_.blocks_packed += iov_.size();
+        out.dense = true;
+        out.iov = std::span<const std::pair<const std::byte*, std::size_t>>(iov_.data(),
+                                                                            iov_.size());
+        out.packed = {};
+        out.bytes = chunk_bytes;
+    } else {
+        // Sparse: context 2 packs from exactly where it stands — it was
+        // never advanced by the look-ahead, so there is nothing to search
+        // for. (The redundant work is context 2 re-parsing the <= 15
+        // signature elements context 1 already saw.)
+        PhaseScope scope(timers_, Phase::Pack);
+        ++counters_.sparse_chunks;
+        chunk_bytes =
+            pack_bytes(base_, pack_ctx_, std::span<std::byte>(scratch_.data(), budget));
+        counters_.bytes_packed += chunk_bytes;
+        out.dense = false;
+        out.iov = {};
+        out.packed = std::span<const std::byte>(scratch_.data(), chunk_bytes);
+        out.bytes = chunk_bytes;
+    }
+    bytes_done_ += chunk_bytes;
+    return true;
+}
+
+std::unique_ptr<PackEngine> make_engine(EngineKind kind, const void* base, const Datatype& type,
+                                        std::size_t count, const EngineConfig& config) {
+    if (kind == EngineKind::SingleContext) {
+        return std::make_unique<SingleContextEngine>(base, type, count, config);
+    }
+    return std::make_unique<DualContextEngine>(base, type, count, config);
+}
+
+}  // namespace nncomm::dt

@@ -1,0 +1,69 @@
+// Reference pack/unpack between user buffers (described by datatypes) and
+// contiguous byte streams.
+//
+// These are straightforward cursor-driven copies with no look-ahead or
+// density decision; the runtime uses them on the receive side and the test
+// suite uses them as the ground truth the engines are validated against.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "datatype/cursor.hpp"
+
+namespace nncomm::dt {
+
+/// Copies the next `out.size()` packed bytes of the layout starting at
+/// `base` into `out`, advancing `cur`. Returns bytes actually produced
+/// (less than out.size() only when the cursor hits the end).
+inline std::size_t pack_bytes(const std::byte* base, TypeCursor& cur, std::span<std::byte> out) {
+    std::size_t produced = 0;
+    while (produced < out.size() && !cur.at_end()) {
+        const std::size_t rem = cur.current_block_remaining();
+        const std::size_t want = out.size() - produced;
+        const std::size_t n = rem < want ? rem : want;
+        std::memcpy(out.data() + produced, base + cur.current_offset(), n);
+        cur.advance(n);
+        produced += n;
+    }
+    return produced;
+}
+
+/// Scatters `in` into the layout starting at `base`, advancing `cur`.
+/// Returns bytes consumed (< in.size() only when the cursor hits the end).
+inline std::size_t unpack_bytes(std::byte* base, TypeCursor& cur, std::span<const std::byte> in) {
+    std::size_t consumed = 0;
+    while (consumed < in.size() && !cur.at_end()) {
+        const std::size_t rem = cur.current_block_remaining();
+        const std::size_t want = in.size() - consumed;
+        const std::size_t n = rem < want ? rem : want;
+        std::memcpy(base + cur.current_offset(), in.data() + consumed, n);
+        cur.advance(n);
+        consumed += n;
+    }
+    return consumed;
+}
+
+/// Packs `count` instances of `type` at `base` into a fresh vector.
+inline std::vector<std::byte> pack_all(const void* base, const Datatype& type,
+                                       std::size_t count) {
+    TypeCursor cur(&type.flat(), count);
+    std::vector<std::byte> out(cur.total_bytes());
+    const std::size_t n = pack_bytes(static_cast<const std::byte*>(base), cur,
+                                     std::span<std::byte>(out));
+    NNCOMM_CHECK(n == out.size());
+    return out;
+}
+
+/// Unpacks a full packed stream into `count` instances of `type` at `base`.
+inline void unpack_all(void* base, const Datatype& type, std::size_t count,
+                       std::span<const std::byte> in) {
+    TypeCursor cur(&type.flat(), count);
+    NNCOMM_CHECK_MSG(in.size() == cur.total_bytes(), "unpack_all: size mismatch");
+    const std::size_t n = unpack_bytes(static_cast<std::byte*>(base), cur, in);
+    NNCOMM_CHECK(n == in.size());
+}
+
+}  // namespace nncomm::dt

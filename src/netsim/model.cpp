@@ -1,0 +1,49 @@
+#include "netsim/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nncomm::sim {
+
+ClusterConfig make_paper_testbed(int nprocs, double skew_us_mean) {
+    ClusterConfig c;
+    c.nprocs = nprocs;
+    c.speed.resize(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+        // First half: Intel EM64T 3.6 GHz; second half: Opteron 2.8 GHz.
+        // The ratio only matters relatively; 1.0 vs 0.8 tracks the clock gap.
+        c.speed[static_cast<std::size_t>(r)] = (r < nprocs / 2 || nprocs == 1) ? 1.0 : 0.8;
+    }
+    c.skew_us_mean = skew_us_mean;
+    return c;
+}
+
+ClusterConfig make_uniform_cluster(int nprocs) {
+    ClusterConfig c;
+    c.nprocs = nprocs;
+    c.skew_us_mean = 0.0;
+    return c;
+}
+
+double pack_cost_dual_us(const ClusterConfig& c, std::uint64_t bytes, double block_len) {
+    if (bytes == 0) return 0.0;
+    const double blocks = static_cast<double>(bytes) / std::max(block_len, 1.0);
+    return static_cast<double>(bytes) * c.pack_us_per_byte +
+           blocks * c.lookahead_us_per_block;
+}
+
+double pack_cost_single_us(const ClusterConfig& c, std::uint64_t bytes, double block_len) {
+    if (bytes == 0) return 0.0;
+    const double bl = std::max(block_len, 1.0);
+    const double linear = pack_cost_dual_us(c, bytes, block_len);
+    // One re-search per pipeline chunk; re-search i walks the i·chunk bytes
+    // already packed, block by block:
+    //   sum_i (i * chunk / bl) = chunks * (chunks - 1) / 2 * chunk / bl
+    // ~ bytes^2 / (2 * chunk * bl) blocks in total.
+    const double chunk = static_cast<double>(c.pipeline_chunk);
+    const double nchunks = std::ceil(static_cast<double>(bytes) / chunk);
+    const double searched_blocks = nchunks * (nchunks - 1.0) / 2.0 * chunk / bl;
+    return linear + searched_blocks * c.search_us_per_block;
+}
+
+}  // namespace nncomm::sim

@@ -1,0 +1,280 @@
+#include "netsim/programs.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nncomm::sim {
+
+double pack_cost_us(const ClusterConfig& c, PackModel model, std::uint64_t bytes,
+                    double block_len) {
+    switch (model) {
+        case PackModel::Contiguous:
+            return 0.0;
+        case PackModel::HandTuned:
+            // Explicit pack loop: per-byte copy plus one indexed load per
+            // contiguous run — no datatype machinery, but not free either.
+            return static_cast<double>(bytes) * c.pack_us_per_byte +
+                   static_cast<double>(bytes) / std::max(block_len, 1.0) *
+                       c.gather_us_per_block;
+        case PackModel::SingleContext:
+            return pack_cost_single_us(c, bytes, block_len);
+        case PackModel::DualContext:
+            return pack_cost_dual_us(c, bytes, block_len);
+    }
+    return 0.0;
+}
+
+namespace {
+
+// Tags are handed out in blocks of 256 per collective round so FIFO
+// matching lines up exactly like the executable collectives.
+constexpr int kTagsPerRound = 256;
+
+std::uint64_t range_bytes(std::span<const std::uint64_t> volumes, int first, int count) {
+    const int n = static_cast<int>(volumes.size());
+    std::uint64_t total = 0;
+    for (int t = 0; t < count; ++t) {
+        const int b = ((first + t) % n + n) % n;
+        total += volumes[static_cast<std::size_t>(b)];
+    }
+    return total;
+}
+
+void emit_allgatherv_ring(std::vector<RankProgram>& progs,
+                          std::span<const std::uint64_t> volumes, int tag0) {
+    const int n = static_cast<int>(volumes.size());
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs[static_cast<std::size_t>(r)];
+        const int right = (r + 1) % n;
+        const int left = (r + n - 1) % n;
+        for (int s = 0; s < n - 1; ++s) {
+            const int send_block = (r - s + n) % n;
+            p.push_back(
+                Op::send(right, tag0 + s, volumes[static_cast<std::size_t>(send_block)]));
+            p.push_back(Op::recv(left, tag0 + s));
+        }
+    }
+}
+
+void emit_allgatherv_recdbl(std::vector<RankProgram>& progs,
+                            std::span<const std::uint64_t> volumes, int tag0) {
+    const int n = static_cast<int>(volumes.size());
+    NNCOMM_CHECK_MSG((n & (n - 1)) == 0, "recursive doubling needs power-of-two ranks");
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs[static_cast<std::size_t>(r)];
+        int phase = 0;
+        for (int mask = 1; mask < n; mask <<= 1, ++phase) {
+            const int partner = r ^ mask;
+            const std::uint64_t bytes = range_bytes(volumes, r & ~(mask - 1), mask);
+            p.push_back(Op::send(partner, tag0 + phase, bytes));
+            p.push_back(Op::recv(partner, tag0 + phase));
+        }
+    }
+}
+
+void emit_allgatherv_dissem(std::vector<RankProgram>& progs,
+                            std::span<const std::uint64_t> volumes, int tag0) {
+    const int n = static_cast<int>(volumes.size());
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs[static_cast<std::size_t>(r)];
+        int phase = 0;
+        for (int step = 1; step < n; step <<= 1, ++phase) {
+            const int cnt = std::min(step, n - step);
+            const std::uint64_t bytes = range_bytes(volumes, r - cnt + 1, cnt);
+            p.push_back(Op::send((r + step) % n, tag0 + phase, bytes));
+            p.push_back(Op::recv((r - step + n) % n, tag0 + phase));
+        }
+    }
+}
+
+GathervSchedule resolve_allgatherv(std::span<const std::uint64_t> volumes,
+                                   GathervSchedule schedule, const AllgathervPolicy& policy) {
+    if (schedule != GathervSchedule::Auto) return schedule;
+    const int n = static_cast<int>(volumes.size());
+    if (allgatherv_use_ring(volumes, policy)) return GathervSchedule::Ring;
+    return ((n & (n - 1)) == 0) ? GathervSchedule::RecursiveDoubling
+                                : GathervSchedule::Dissemination;
+}
+
+void emit_allgatherv(std::vector<RankProgram>& progs, std::span<const std::uint64_t> volumes,
+                     GathervSchedule schedule, const AllgathervPolicy& policy, int tag0) {
+    switch (resolve_allgatherv(volumes, schedule, policy)) {
+        case GathervSchedule::Ring: emit_allgatherv_ring(progs, volumes, tag0); break;
+        case GathervSchedule::RecursiveDoubling:
+            emit_allgatherv_recdbl(progs, volumes, tag0);
+            break;
+        case GathervSchedule::Dissemination:
+            emit_allgatherv_dissem(progs, volumes, tag0);
+            break;
+        case GathervSchedule::Auto: break;  // resolved
+    }
+}
+
+void emit_alltoallw(std::vector<RankProgram>& progs, const ClusterConfig& cluster,
+                    const AlltoallwWorkload& wl, AlltoallwSchedule schedule, int tag0) {
+    const int n = wl.nprocs;
+    if (schedule == AlltoallwSchedule::RoundRobin) {
+        // Blocking pairwise exchange with every rank, zero-size included:
+        // each step is a synchronization.
+        for (int r = 0; r < n; ++r) {
+            RankProgram& p = progs[static_cast<std::size_t>(r)];
+            for (int i = 1; i < n; ++i) {
+                const int dst = (r + i) % n;
+                const int src = (r - i + n) % n;
+                const std::uint64_t out = wl.vol(r, dst);
+                p.push_back(Op::compute(pack_cost_us(cluster, wl.pack, out, wl.block_len)));
+                p.push_back(Op::send(dst, tag0 + i, out));
+                p.push_back(Op::recv(src, tag0 + i));
+            }
+        }
+    } else {
+        // Binned: zero-volume peers exempt; small volumes packed and sent
+        // before large; receives completed afterwards (waitall).
+        for (int r = 0; r < n; ++r) {
+            RankProgram& p = progs[static_cast<std::size_t>(r)];
+            struct Peer {
+                int rank;
+                std::uint64_t volume;
+            };
+            std::vector<Peer> small_bin, large_bin;
+            for (int dst = 0; dst < n; ++dst) {
+                if (dst == r) continue;
+                const std::uint64_t v = wl.vol(r, dst);
+                if (v == 0) continue;
+                (v < wl.small_msg_threshold ? small_bin : large_bin).push_back({dst, v});
+            }
+            if (schedule == AlltoallwSchedule::Binned) {
+                auto by_volume = [](const Peer& a, const Peer& b) {
+                    return a.volume < b.volume || (a.volume == b.volume && a.rank < b.rank);
+                };
+                std::sort(small_bin.begin(), small_bin.end(), by_volume);
+                std::sort(large_bin.begin(), large_bin.end(), by_volume);
+            } else {
+                // BinnedRankOrder: zero-size exemption only; packing order
+                // is rank order, so a large early peer delays later ones.
+                large_bin.insert(large_bin.end(), small_bin.begin(), small_bin.end());
+                small_bin.clear();
+                std::sort(large_bin.begin(), large_bin.end(),
+                          [](const Peer& a, const Peer& b) { return a.rank < b.rank; });
+            }
+            for (const auto& bin : {small_bin, large_bin}) {
+                for (const Peer& peer : bin) {
+                    p.push_back(Op::compute(
+                        pack_cost_us(cluster, wl.pack, peer.volume, wl.block_len)));
+                    p.push_back(Op::send(peer.rank, tag0, peer.volume));
+                }
+            }
+            for (int src = 0; src < n; ++src) {
+                if (src == r || wl.vol(src, r) == 0) continue;
+                p.push_back(Op::recv(src, tag0));
+            }
+        }
+    }
+}
+
+void emit_allreduce(std::vector<RankProgram>& progs, std::uint64_t bytes, int tag0) {
+    // Dissemination-pattern allreduce (works for any rank count; per-phase
+    // payload is the full reduced value).
+    const int n = static_cast<int>(progs.size());
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs[static_cast<std::size_t>(r)];
+        int phase = 0;
+        for (int step = 1; step < n; step <<= 1, ++phase) {
+            p.push_back(Op::send((r + step) % n, tag0 + phase, bytes));
+            p.push_back(Op::recv((r - step + n) % n, tag0 + phase));
+        }
+    }
+}
+
+void add_skew_ops(std::vector<RankProgram>& progs, const ClusterConfig& cluster, Rng& rng) {
+    if (cluster.skew_us_mean <= 0.0) return;
+    for (auto& p : progs) p.push_back(Op::compute(rng.exponential(cluster.skew_us_mean)));
+}
+
+}  // namespace
+
+std::vector<RankProgram> allgatherv_program(const ClusterConfig& cluster,
+                                            const AllgathervWorkload& wl,
+                                            GathervSchedule schedule) {
+    const int n = static_cast<int>(wl.volumes.size());
+    NNCOMM_CHECK_MSG(n == cluster.nprocs, "workload/cluster rank-count mismatch");
+    Rng rng(cluster.seed);
+    std::vector<RankProgram> progs(static_cast<std::size_t>(n));
+    for (int it = 0; it < wl.iterations; ++it) {
+        add_skew_ops(progs, cluster, rng);
+        emit_allgatherv(progs, wl.volumes, schedule, wl.policy, it * kTagsPerRound);
+    }
+    return progs;
+}
+
+AlltoallwWorkload make_ring_neighbor_workload(int nprocs, std::uint64_t bytes) {
+    AlltoallwWorkload wl;
+    wl.nprocs = nprocs;
+    wl.volume.assign(static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs), 0);
+    for (int r = 0; r < nprocs; ++r) {
+        wl.vol(r, (r + 1) % nprocs) = bytes;
+        wl.vol(r, (r + nprocs - 1) % nprocs) = bytes;
+    }
+    return wl;
+}
+
+std::vector<RankProgram> alltoallw_program(const ClusterConfig& cluster,
+                                           const AlltoallwWorkload& wl,
+                                           AlltoallwSchedule schedule) {
+    const int n = wl.nprocs;
+    NNCOMM_CHECK_MSG(n == cluster.nprocs, "workload/cluster rank-count mismatch");
+    NNCOMM_CHECK_MSG(wl.volume.size() ==
+                         static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                     "traffic matrix must be nprocs x nprocs");
+    Rng rng(cluster.seed);
+    std::vector<RankProgram> progs(static_cast<std::size_t>(n));
+    for (int it = 0; it < wl.iterations; ++it) {
+        add_skew_ops(progs, cluster, rng);
+        emit_alltoallw(progs, cluster, wl, schedule, it * kTagsPerRound);
+    }
+    return progs;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+
+ProgramBuilder::ProgramBuilder(const ClusterConfig& cluster)
+    : cluster_(cluster), rng_(cluster.seed),
+      progs_(static_cast<std::size_t>(cluster.nprocs)) {}
+
+int ProgramBuilder::next_tag_block() {
+    const int t = tag_block_ * kTagsPerRound;
+    ++tag_block_;
+    return t;
+}
+
+void ProgramBuilder::add_skew() { add_skew_ops(progs_, cluster_, rng_); }
+
+void ProgramBuilder::add_compute_all(double us) {
+    for (auto& p : progs_) p.push_back(Op::compute(us));
+}
+
+void ProgramBuilder::add_compute_per_rank(std::span<const double> us) {
+    NNCOMM_CHECK_MSG(us.size() == progs_.size(), "one compute entry per rank required");
+    for (std::size_t r = 0; r < progs_.size(); ++r) progs_[r].push_back(Op::compute(us[r]));
+}
+
+void ProgramBuilder::add_alltoallw(const AlltoallwWorkload& wl, AlltoallwSchedule schedule) {
+    NNCOMM_CHECK_MSG(wl.nprocs == cluster_.nprocs, "workload/cluster rank-count mismatch");
+    emit_alltoallw(progs_, cluster_, wl, schedule, next_tag_block());
+}
+
+void ProgramBuilder::add_allgatherv(std::span<const std::uint64_t> volumes,
+                                    GathervSchedule schedule, const AllgathervPolicy& policy) {
+    NNCOMM_CHECK_MSG(static_cast<int>(volumes.size()) == cluster_.nprocs,
+                     "volume set/cluster rank-count mismatch");
+    emit_allgatherv(progs_, volumes, schedule, policy, next_tag_block());
+}
+
+void ProgramBuilder::add_allreduce(std::uint64_t bytes) {
+    emit_allreduce(progs_, bytes, next_tag_block());
+}
+
+void ProgramBuilder::add_barrier() { emit_allreduce(progs_, 0, next_tag_block()); }
+
+}  // namespace nncomm::sim

@@ -1,0 +1,89 @@
+#include "netsim/sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace nncomm::sim {
+
+namespace {
+
+// (src, dst, tag) packed into one 64-bit key: ranks < 2^16, tags < 2^32.
+std::uint64_t pair_key(int src, int dst, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst) & 0xffff) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+struct RankState {
+    std::size_t pc = 0;    ///< next op index
+    double clock = 0.0;    ///< local virtual time (us)
+    bool done = false;
+};
+
+}  // namespace
+
+SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
+    const int n = config_.nprocs;
+    NNCOMM_CHECK_MSG(programs.size() == static_cast<std::size_t>(n),
+                     "one program per rank required");
+
+    std::vector<RankState> ranks(static_cast<std::size_t>(n));
+    std::unordered_map<std::uint64_t, std::deque<double>> in_flight;  // arrivals, FIFO per key
+    in_flight.reserve(1024);
+    SimResult result;
+
+    // Sweep until every rank finishes. Sends never block, so any rank that
+    // is stuck is waiting on a message; each sweep delivers at least one
+    // message if the programs are deadlock-free.
+    bool progress = true;
+    int remaining = n;
+    while (remaining > 0) {
+        NNCOMM_CHECK_MSG(progress, "simulated programs deadlocked");
+        progress = false;
+        for (int r = 0; r < n; ++r) {
+            RankState& st = ranks[static_cast<std::size_t>(r)];
+            if (st.done) continue;
+            const RankProgram& prog = programs[static_cast<std::size_t>(r)];
+            const double speed = config_.rank_speed(r);
+            while (st.pc < prog.size()) {
+                const Op& op = prog[st.pc];
+                if (op.kind == Op::Kind::Compute) {
+                    st.clock += op.compute_us / speed;
+                } else if (op.kind == Op::Kind::Send) {
+                    // Sender occupied for overhead + serialization; message
+                    // arrives one wire latency after it leaves the NIC.
+                    st.clock += config_.overhead_us / speed +
+                                static_cast<double>(op.bytes) * config_.us_per_byte;
+                    in_flight[pair_key(r, op.peer, op.tag)].push_back(st.clock +
+                                                                      config_.latency_us);
+                    ++result.messages;
+                    result.bytes += op.bytes;
+                } else {  // Recv
+                    auto it = in_flight.find(pair_key(op.peer, r, op.tag));
+                    if (it == in_flight.end() || it->second.empty()) break;  // blocked
+                    const double arrival = it->second.front();
+                    it->second.pop_front();
+                    if (it->second.empty()) in_flight.erase(it);  // keys rarely repeat
+                    st.clock = std::max(st.clock, arrival) + config_.overhead_us / speed;
+                }
+                ++st.pc;
+                progress = true;
+            }
+            if (st.pc == prog.size() && !st.done) {
+                st.done = true;
+                --remaining;
+                progress = true;
+            }
+        }
+    }
+
+    result.finish_us.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        result.finish_us[static_cast<std::size_t>(r)] = ranks[static_cast<std::size_t>(r)].clock;
+        result.makespan_us = std::max(result.makespan_us, ranks[static_cast<std::size_t>(r)].clock);
+    }
+    return result;
+}
+
+}  // namespace nncomm::sim

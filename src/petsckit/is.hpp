@@ -1,0 +1,72 @@
+// Index sets (PETSc IS): ordered lists of global indices used to describe
+// the source and destination of a VecScatter.
+//
+// petsckit index sets are replicated: every rank holds the full list. This
+// matches how the paper's vector-scatter benchmark uses them (each process
+// scatters its portion of one 1-D grid to unique portions of another) and
+// keeps scatter planning communication-free; see scatter.hpp.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "petsckit/layout.hpp"
+
+namespace nncomm::pk {
+
+class IndexSet {
+public:
+    IndexSet() = default;
+
+    /// Arbitrary indices, in order.
+    static IndexSet general(std::vector<Index> indices) {
+        IndexSet is;
+        is.idx_ = std::move(indices);
+        return is;
+    }
+
+    /// first, first + step, ..., n entries.
+    static IndexSet stride(Index first, Index step, Index n) {
+        NNCOMM_CHECK_MSG(n >= 0, "IndexSet::stride: negative length");
+        IndexSet is;
+        is.idx_.resize(static_cast<std::size_t>(n));
+        for (Index i = 0; i < n; ++i) is.idx_[static_cast<std::size_t>(i)] = first + i * step;
+        return is;
+    }
+
+    /// Block indices expanded to element indices: for each block b,
+    /// indices b*bs .. b*bs+bs-1.
+    static IndexSet block(Index bs, std::span<const Index> blocks) {
+        NNCOMM_CHECK_MSG(bs >= 1, "IndexSet::block: block size must be >= 1");
+        IndexSet is;
+        is.idx_.reserve(blocks.size() * static_cast<std::size_t>(bs));
+        for (Index b : blocks) {
+            for (Index j = 0; j < bs; ++j) is.idx_.push_back(b * bs + j);
+        }
+        return is;
+    }
+
+    /// 0, 1, ..., n-1.
+    static IndexSet identity(Index n) { return stride(0, 1, n); }
+
+    std::size_t size() const { return idx_.size(); }
+    bool empty() const { return idx_.empty(); }
+    Index operator[](std::size_t k) const { return idx_[k]; }
+    std::span<const Index> indices() const { return idx_; }
+
+    Index min() const {
+        NNCOMM_CHECK(!idx_.empty());
+        return *std::min_element(idx_.begin(), idx_.end());
+    }
+    Index max() const {
+        NNCOMM_CHECK(!idx_.empty());
+        return *std::max_element(idx_.begin(), idx_.end());
+    }
+
+private:
+    std::vector<Index> idx_;
+};
+
+}  // namespace nncomm::pk

@@ -1,0 +1,274 @@
+#include "petsckit/ksp.hpp"
+
+namespace nncomm::pk {
+
+JacobiPreconditioner::JacobiPreconditioner(Vec diag) : inv_diag_(std::move(diag)) {
+    for (double& v : inv_diag_.local()) {
+        NNCOMM_CHECK_MSG(v != 0.0, "JacobiPreconditioner: zero diagonal entry");
+        v = 1.0 / v;
+    }
+}
+
+void JacobiPreconditioner::apply(const Vec& x, Vec& y) const {
+    y.pointwise_mult(inv_diag_, x);
+}
+
+KspResult cg(const LinearOperator& A, const Vec& b, Vec& x, const KspConfig& config,
+             const LinearOperator* precond) {
+    Vec r = b.clone_empty();
+    Vec z = b.clone_empty();
+    Vec p = b.clone_empty();
+    Vec Ap = b.clone_empty();
+
+    // r = b - A x
+    A.apply(x, Ap);
+    r.waxpy_diff(b, Ap);
+
+    const double r0 = r.norm2();
+    KspResult result;
+    result.residual_norm = r0;
+    if (r0 <= config.atol) {
+        result.converged = true;
+        return result;
+    }
+
+    if (precond) precond->apply(r, z);
+    else z.copy_from(r);
+    p.copy_from(z);
+    double rz = r.dot(z);
+
+    for (int it = 1; it <= config.max_iters; ++it) {
+        A.apply(p, Ap);
+        const double pAp = p.dot(Ap);
+        NNCOMM_CHECK_MSG(pAp > 0.0, "cg: operator is not positive definite");
+        const double alpha = rz / pAp;
+        x.axpy(alpha, p);
+        r.axpy(-alpha, Ap);
+
+        const double rnorm = r.norm2();
+        result.iterations = it;
+        result.residual_norm = rnorm;
+        if (rnorm <= config.rtol * r0 || rnorm <= config.atol) {
+            result.converged = true;
+            return result;
+        }
+
+        if (precond) precond->apply(r, z);
+        else z.copy_from(r);
+        const double rz_new = r.dot(z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        // p = z + beta p
+        p.aypx(beta, z);
+    }
+    return result;
+}
+
+KspResult gmres(const LinearOperator& A, const Vec& b, Vec& x, const GmresConfig& config,
+                const LinearOperator* precond) {
+    NNCOMM_CHECK_MSG(config.restart >= 1, "gmres: restart must be >= 1");
+    const int m = config.restart;
+    KspResult result;
+
+    Vec w = b.clone_empty();
+    Vec z = b.clone_empty();
+    std::vector<Vec> basis;  // Krylov vectors V_0..V_m
+    basis.reserve(static_cast<std::size_t>(m) + 1);
+
+    // Hessenberg (column-major, (m+1) x m), Givens rotations, residual rhs.
+    std::vector<double> H(static_cast<std::size_t>((m + 1) * m), 0.0);
+    auto h = [&](int i, int j) -> double& {
+        return H[static_cast<std::size_t>(j * (m + 1) + i)];
+    };
+    std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m));
+    std::vector<double> g(static_cast<std::size_t>(m) + 1);
+
+    // Initial (preconditioned) residual norm for the relative tolerance.
+    A.apply(x, w);
+    w.waxpy_diff(b, w);
+    if (precond) {
+        precond->apply(w, z);
+    } else {
+        z.copy_from(w);
+    }
+    const double r0 = z.norm2();
+    result.residual_norm = r0;
+    if (r0 <= config.atol) {
+        result.converged = true;
+        return result;
+    }
+
+    int total_iters = 0;
+    while (total_iters < config.max_iters) {
+        // (Re)start: V_0 = M r / ||M r||.
+        A.apply(x, w);
+        w.waxpy_diff(b, w);
+        if (precond) precond->apply(w, z);
+        else z.copy_from(w);
+        const double beta = z.norm2();
+        result.residual_norm = beta;
+        if (beta <= config.rtol * r0 || beta <= config.atol) {
+            result.converged = true;
+            return result;
+        }
+        basis.clear();
+        basis.push_back(z.clone_empty());
+        basis[0].copy_from(z);
+        basis[0].scale(1.0 / beta);
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta;
+
+        int k = 0;  // columns built this cycle
+        for (; k < m && total_iters < config.max_iters; ++k, ++total_iters) {
+            // Arnoldi: w = M A V_k, modified Gram-Schmidt.
+            A.apply(basis[static_cast<std::size_t>(k)], w);
+            if (precond) {
+                precond->apply(w, z);
+            } else {
+                z.copy_from(w);
+            }
+            for (int i = 0; i <= k; ++i) {
+                const double hik = z.dot(basis[static_cast<std::size_t>(i)]);
+                h(i, k) = hik;
+                z.axpy(-hik, basis[static_cast<std::size_t>(i)]);
+            }
+            const double hnext = z.norm2();
+            h(k + 1, k) = hnext;
+
+            // Apply previous Givens rotations to the new column.
+            for (int i = 0; i < k; ++i) {
+                const double t = cs[static_cast<std::size_t>(i)] * h(i, k) +
+                                 sn[static_cast<std::size_t>(i)] * h(i + 1, k);
+                h(i + 1, k) = -sn[static_cast<std::size_t>(i)] * h(i, k) +
+                              cs[static_cast<std::size_t>(i)] * h(i + 1, k);
+                h(i, k) = t;
+            }
+            // New rotation annihilating h(k+1, k).
+            const double denom = std::sqrt(h(k, k) * h(k, k) + hnext * hnext);
+            if (denom == 0.0) {
+                cs[static_cast<std::size_t>(k)] = 1.0;
+                sn[static_cast<std::size_t>(k)] = 0.0;
+            } else {
+                cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
+                sn[static_cast<std::size_t>(k)] = hnext / denom;
+            }
+            h(k, k) = denom;
+            g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] *
+                                                 g[static_cast<std::size_t>(k)];
+            g[static_cast<std::size_t>(k)] *= cs[static_cast<std::size_t>(k)];
+
+            result.iterations = total_iters + 1;
+            result.residual_norm = std::abs(g[static_cast<std::size_t>(k) + 1]);
+            const bool happy = hnext == 0.0;  // exact Krylov breakdown
+            if (result.residual_norm <= config.rtol * r0 ||
+                result.residual_norm <= config.atol || happy) {
+                ++k;
+                result.converged = true;
+                break;
+            }
+            basis.push_back(z.clone_empty());
+            basis.back().copy_from(z);
+            basis.back().scale(1.0 / hnext);
+        }
+
+        // Solve the k x k triangular system and update x.
+        std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+        for (int i = k - 1; i >= 0; --i) {
+            double acc = g[static_cast<std::size_t>(i)];
+            for (int j = i + 1; j < k; ++j) acc -= h(i, j) * y[static_cast<std::size_t>(j)];
+            NNCOMM_CHECK_MSG(h(i, i) != 0.0, "gmres: singular Hessenberg diagonal");
+            y[static_cast<std::size_t>(i)] = acc / h(i, i);
+        }
+        for (int i = 0; i < k; ++i) {
+            x.axpy(y[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)]);
+        }
+        if (result.converged) return result;
+    }
+    return result;
+}
+
+void richardson(const LinearOperator& A, const Vec& b, Vec& x, double omega, int iters,
+                const LinearOperator* precond) {
+    Vec r = b.clone_empty();
+    Vec Ax = b.clone_empty();
+    Vec z = b.clone_empty();
+    for (int it = 0; it < iters; ++it) {
+        A.apply(x, Ax);
+        r.waxpy_diff(b, Ax);
+        if (precond) {
+            precond->apply(r, z);
+            x.axpy(omega, z);
+        } else {
+            x.axpy(omega, r);
+        }
+    }
+}
+
+void chebyshev(const LinearOperator& A, const Vec& b, Vec& x, double lambda_min,
+               double lambda_max, int iters, const LinearOperator* precond) {
+    NNCOMM_CHECK_MSG(lambda_max > lambda_min && lambda_min > 0.0,
+                     "chebyshev: need 0 < lambda_min < lambda_max");
+    // Standard three-term Chebyshev recurrence (Saad, Iterative Methods,
+    // alg. 12.1) on the interval [lambda_min, lambda_max].
+    const double theta = 0.5 * (lambda_max + lambda_min);
+    const double delta = 0.5 * (lambda_max - lambda_min);
+    const double sigma1 = theta / delta;
+    double rho = 1.0 / sigma1;
+
+    Vec r = b.clone_empty();
+    Vec z = b.clone_empty();
+    Vec d = b.clone_empty();
+    Vec Ax = b.clone_empty();
+
+    A.apply(x, Ax);
+    r.waxpy_diff(b, Ax);
+    if (precond) precond->apply(r, z);
+    else z.copy_from(r);
+    // d = z / theta
+    d.copy_from(z);
+    d.scale(1.0 / theta);
+
+    for (int it = 0; it < iters; ++it) {
+        x.axpy(1.0, d);
+        A.apply(x, Ax);
+        r.waxpy_diff(b, Ax);
+        if (precond) precond->apply(r, z);
+        else z.copy_from(r);
+        const double rho_next = 1.0 / (2.0 * sigma1 - rho);
+        // d = rho_next * rho * d + (2 * rho_next / delta) * z
+        d.scale(rho_next * rho);
+        d.axpy(2.0 * rho_next / delta, z);
+        rho = rho_next;
+    }
+}
+
+double estimate_max_eigenvalue(const LinearOperator& A, const Vec& prototype, int iterations,
+                               const LinearOperator* precond) {
+    Vec v = prototype.clone_empty();
+    Vec Av = prototype.clone_empty();
+    Vec z = prototype.clone_empty();
+    // Deterministic nonuniform start vector (a constant vector can be an
+    // eigenvector of the smooth modes and stall the iteration).
+    for (Index i = 0; i < v.local_size(); ++i) {
+        const Index g = v.range().begin + i;
+        v.data()[i] = 1.0 + 0.5 * std::sin(static_cast<double>(g) * 0.7);
+    }
+    double lambda = 1.0;
+    for (int it = 0; it < iterations; ++it) {
+        const double norm = v.norm2();
+        NNCOMM_CHECK_MSG(norm > 0.0, "estimate_max_eigenvalue: zero iterate");
+        v.scale(1.0 / norm);
+        A.apply(v, Av);
+        if (precond) {
+            precond->apply(Av, z);
+            lambda = v.dot(z);
+            v.copy_from(z);
+        } else {
+            lambda = v.dot(Av);
+            v.copy_from(Av);
+        }
+    }
+    return lambda;
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,90 @@
+// Krylov solvers (PETSc KSP): preconditioned conjugate gradients and
+// Richardson iteration, over an abstract LinearOperator so both assembled
+// (MatAIJ) and matrix-free (stencil) operators plug in.
+#pragma once
+
+#include "petsckit/mat.hpp"
+#include "petsckit/vec.hpp"
+
+namespace nncomm::pk {
+
+class LinearOperator {
+public:
+    virtual ~LinearOperator() = default;
+    /// y = A x. Collective over the vectors' communicator.
+    virtual void apply(const Vec& x, Vec& y) const = 0;
+};
+
+/// Adapter for assembled matrices.
+class MatOperator final : public LinearOperator {
+public:
+    explicit MatOperator(const MatAIJ& mat) : mat_(&mat) {}
+    void apply(const Vec& x, Vec& y) const override { mat_->mult(x, y); }
+
+private:
+    const MatAIJ* mat_;
+};
+
+/// Identity (no-op preconditioner).
+class IdentityOperator final : public LinearOperator {
+public:
+    void apply(const Vec& x, Vec& y) const override { y.copy_from(x); }
+};
+
+/// Diagonal (Jacobi) preconditioner: z = D^{-1} r.
+class JacobiPreconditioner final : public LinearOperator {
+public:
+    /// `diag` must hold the operator's diagonal (all entries nonzero).
+    explicit JacobiPreconditioner(Vec diag);
+    void apply(const Vec& x, Vec& y) const override;
+
+private:
+    Vec inv_diag_;
+};
+
+struct KspConfig {
+    double rtol = 1e-8;   ///< relative residual tolerance (vs initial)
+    double atol = 1e-50;  ///< absolute residual tolerance
+    int max_iters = 1000;
+};
+
+struct KspResult {
+    bool converged = false;
+    int iterations = 0;
+    double residual_norm = 0.0;
+};
+
+/// Preconditioned conjugate gradients; A (and M, if given) must be SPD.
+/// Uses x as the initial guess and overwrites it with the solution.
+KspResult cg(const LinearOperator& A, const Vec& b, Vec& x, const KspConfig& config = {},
+             const LinearOperator* precond = nullptr);
+
+struct GmresConfig {
+    double rtol = 1e-8;
+    double atol = 1e-50;
+    int max_iters = 1000;  ///< total inner iterations across restarts
+    int restart = 30;      ///< Krylov basis size per cycle (GMRES(m))
+};
+
+/// Restarted GMRES with left preconditioning and Givens rotations — for
+/// general (nonsymmetric) operators such as advection-diffusion.
+KspResult gmres(const LinearOperator& A, const Vec& b, Vec& x, const GmresConfig& config = {},
+                const LinearOperator* precond = nullptr);
+
+/// Damped Richardson iteration x += omega * M(b - A x), `iters` sweeps (no
+/// convergence test — used as a smoother).
+void richardson(const LinearOperator& A, const Vec& b, Vec& x, double omega, int iters,
+                const LinearOperator* precond = nullptr);
+
+/// Chebyshev semi-iteration on the preconditioned system M A, smoothing the
+/// eigencomponents in [lambda_min, lambda_max] (PETSc's default multigrid
+/// smoother). No convergence test; `iters` polynomial degrees.
+void chebyshev(const LinearOperator& A, const Vec& b, Vec& x, double lambda_min,
+               double lambda_max, int iters, const LinearOperator* precond = nullptr);
+
+/// Estimates the largest eigenvalue of M A (or A) by power iteration —
+/// used to bound the Chebyshev interval. Collective; deterministic.
+double estimate_max_eigenvalue(const LinearOperator& A, const Vec& prototype, int iterations,
+                               const LinearOperator* precond = nullptr);
+
+}  // namespace nncomm::pk

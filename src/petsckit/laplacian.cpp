@@ -1,0 +1,141 @@
+#include "petsckit/laplacian.hpp"
+
+namespace nncomm::pk {
+
+LaplacianOp::LaplacianOp(std::shared_ptr<const DMDA> dmda, coll::CollConfig config)
+    : dmda_(std::move(dmda)), config_(config) {
+    NNCOMM_CHECK_MSG(dmda_->dof() == 1, "LaplacianOp: dof must be 1");
+    NNCOMM_CHECK_MSG(dmda_->stencil_width() >= 1, "LaplacianOp: needs stencil width >= 1");
+    const Index m = dmda_->grid().m;
+    NNCOMM_CHECK_MSG(m >= 2, "LaplacianOp: grid too small");
+    h_ = 1.0 / static_cast<double>(m - 1);
+    inv_h2_ = 1.0 / (h_ * h_);
+    ghosted_ = dmda_->create_local();
+}
+
+bool LaplacianOp::on_boundary(Index i, Index j, Index k) const {
+    const GridSize g = dmda_->grid();
+    if (i == 0 || i == g.m - 1) return true;
+    if (dmda_->dim() >= 2 && (j == 0 || j == g.n - 1)) return true;
+    if (dmda_->dim() >= 3 && (k == 0 || k == g.p - 1)) return true;
+    return false;
+}
+
+void LaplacianOp::apply(const Vec& x, Vec& y) const {
+    const DMDA& da = *dmda_;
+    da.global_to_local(x, ghosted_, config_);
+
+    const GridBox& o = da.owned();
+    const int dim = da.dim();
+    const double two_d = 2.0 * dim;
+    double* out = y.data();
+    const double* loc = ghosted_.data();
+    std::size_t at = 0;
+    for (Index k = o.zs; k < o.zs + o.zm; ++k) {
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i, ++at) {
+                const double center = loc[da.local_index(i, j, k)];
+                if (on_boundary(i, j, k)) {
+                    out[at] = center;  // identity row (Dirichlet unknown)
+                    continue;
+                }
+                double acc = two_d * center;
+                // Couplings to boundary points are dropped (their values
+                // are eliminated zeros).
+                if (i > 1) acc -= loc[da.local_index(i - 1, j, k)];
+                if (i < da.grid().m - 2) acc -= loc[da.local_index(i + 1, j, k)];
+                if (dim >= 2) {
+                    if (j > 1) acc -= loc[da.local_index(i, j - 1, k)];
+                    if (j < da.grid().n - 2) acc -= loc[da.local_index(i, j + 1, k)];
+                }
+                if (dim >= 3) {
+                    if (k > 1) acc -= loc[da.local_index(i, j, k - 1)];
+                    if (k < da.grid().p - 2) acc -= loc[da.local_index(i, j, k + 1)];
+                }
+                out[at] = acc * inv_h2_;
+            }
+        }
+    }
+}
+
+void LaplacianOp::fill_diagonal(Vec& d) const {
+    const DMDA& da = *dmda_;
+    const GridBox& o = da.owned();
+    const double diag_val = 2.0 * da.dim() * inv_h2_;
+    double* out = d.data();
+    std::size_t at = 0;
+    for (Index k = o.zs; k < o.zs + o.zm; ++k) {
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i, ++at) {
+                out[at] = on_boundary(i, j, k) ? 1.0 : diag_val;
+            }
+        }
+    }
+}
+
+void assemble_laplacian(MatAIJ& mat, const DMDA& dmda) {
+    NNCOMM_CHECK_MSG(dmda.dof() == 1, "assemble_laplacian: dof must be 1");
+    const GridBox& o = dmda.owned();
+    const GridSize g = dmda.grid();
+    const int dim = dmda.dim();
+    const double h = 1.0 / static_cast<double>(g.m - 1);
+    const double inv_h2 = 1.0 / (h * h);
+
+    auto boundary = [&](Index i, Index j, Index k) {
+        if (i == 0 || i == g.m - 1) return true;
+        if (dim >= 2 && (j == 0 || j == g.n - 1)) return true;
+        if (dim >= 3 && (k == 0 || k == g.p - 1)) return true;
+        return false;
+    };
+
+    for (Index k = o.zs; k < o.zs + o.zm; ++k) {
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i) {
+                const Index row = dmda.global_index(i, j, k);
+                if (boundary(i, j, k)) {
+                    mat.set_value(row, row, 1.0);
+                    continue;
+                }
+                mat.set_value(row, row, 2.0 * dim * inv_h2);
+                auto couple = [&](Index ni, Index nj, Index nk) {
+                    if (!boundary(ni, nj, nk)) {
+                        mat.set_value(row, dmda.global_index(ni, nj, nk), -inv_h2);
+                    }
+                };
+                couple(i - 1, j, k);
+                couple(i + 1, j, k);
+                if (dim >= 2) {
+                    couple(i, j - 1, k);
+                    couple(i, j + 1, k);
+                }
+                if (dim >= 3) {
+                    couple(i, j, k - 1);
+                    couple(i, j, k + 1);
+                }
+            }
+        }
+    }
+}
+
+void fill_rhs_constant(const DMDA& dmda, Vec& b, double value) {
+    const GridBox& o = dmda.owned();
+    const GridSize g = dmda.grid();
+    const int dim = dmda.dim();
+    auto boundary = [&](Index i, Index j, Index k) {
+        if (i == 0 || i == g.m - 1) return true;
+        if (dim >= 2 && (j == 0 || j == g.n - 1)) return true;
+        if (dim >= 3 && (k == 0 || k == g.p - 1)) return true;
+        return false;
+    };
+    double* out = b.data();
+    std::size_t at = 0;
+    for (Index k = o.zs; k < o.zs + o.zm; ++k) {
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i, ++at) {
+                out[at] = boundary(i, j, k) ? 0.0 : value;
+            }
+        }
+    }
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,107 @@
+// Parallel layout of 1-D index ranges (PETSc's PetscSplitOwnership).
+//
+// A global vector of N entries is split into contiguous per-rank ranges:
+// the first N % size ranks own N/size + 1 entries, the rest N/size. All
+// distributed petsckit objects use this layout, so ownership of any global
+// index is computable locally on every rank with no communication.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace nncomm::pk {
+
+using Index = std::int64_t;
+
+struct OwnershipRange {
+    Index begin = 0;
+    Index end = 0;  ///< one past the last owned index
+    Index count() const { return end - begin; }
+    bool contains(Index i) const { return i >= begin && i < end; }
+};
+
+/// The contiguous range of global indices rank `rank` owns.
+inline OwnershipRange split_ownership(Index global, int rank, int size) {
+    NNCOMM_CHECK_MSG(global >= 0 && size >= 1 && rank >= 0 && rank < size,
+                     "split_ownership: invalid arguments");
+    const Index base = global / size;
+    const Index extra = global % size;
+    const Index r = rank;
+    const Index begin = r * base + (r < extra ? r : extra);
+    const Index count = base + (r < extra ? 1 : 0);
+    return OwnershipRange{begin, begin + count};
+}
+
+/// The rank owning global index `i` under split_ownership(global, ·, size).
+inline int owner_of(Index i, Index global, int size) {
+    NNCOMM_CHECK_MSG(i >= 0 && i < global, "owner_of: index out of range");
+    const Index base = global / size;
+    const Index extra = global % size;
+    // The first `extra` ranks own (base + 1) entries each.
+    const Index cutoff = extra * (base + 1);
+    if (i < cutoff) return static_cast<int>(i / (base + 1));
+    return static_cast<int>(extra + (i - cutoff) / base);
+}
+
+/// Replicated description of an arbitrary contiguous partition of [0, N):
+/// rank r owns [starts[r], starts[r+1]). Generalizes split_ownership for
+/// objects (DMDA vectors, ghost work vectors) whose local sizes are not the
+/// uniform split.
+class Layout {
+public:
+    Layout() = default;
+
+    static Layout uniform(Index global, int size) {
+        Layout l;
+        l.starts_.resize(static_cast<std::size_t>(size) + 1);
+        for (int r = 0; r < size; ++r) {
+            l.starts_[static_cast<std::size_t>(r)] = split_ownership(global, r, size).begin;
+        }
+        l.starts_.back() = global;
+        return l;
+    }
+
+    /// Builds from per-rank local sizes (already gathered; entry r = rank
+    /// r's count).
+    static Layout from_counts(std::span<const Index> counts) {
+        Layout l;
+        l.starts_.resize(counts.size() + 1);
+        l.starts_[0] = 0;
+        for (std::size_t r = 0; r < counts.size(); ++r) {
+            NNCOMM_CHECK_MSG(counts[r] >= 0, "Layout: negative local size");
+            l.starts_[r + 1] = l.starts_[r] + counts[r];
+        }
+        return l;
+    }
+
+    bool valid() const { return !starts_.empty(); }
+    int size() const { return static_cast<int>(starts_.size()) - 1; }
+    Index global() const { return starts_.back(); }
+    OwnershipRange range(int rank) const {
+        NNCOMM_CHECK(rank >= 0 && rank < size());
+        return OwnershipRange{starts_[static_cast<std::size_t>(rank)],
+                              starts_[static_cast<std::size_t>(rank) + 1]};
+    }
+    /// Owner of global index i (binary search over the partition).
+    int owner(Index i) const {
+        NNCOMM_CHECK_MSG(i >= 0 && i < global(), "Layout::owner: index out of range");
+        // Upper bound over starts_: first start strictly greater than i.
+        std::size_t lo = 0, hi = starts_.size() - 1;
+        while (lo + 1 < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (starts_[mid] <= i) lo = mid;
+            else hi = mid;
+        }
+        return static_cast<int>(lo);
+    }
+
+    friend bool operator==(const Layout& a, const Layout& b) { return a.starts_ == b.starts_; }
+
+private:
+    std::vector<Index> starts_;  ///< size() + 1 entries, starts_[0] == 0
+};
+
+}  // namespace nncomm::pk

@@ -1,0 +1,152 @@
+#include "petsckit/mat.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "coll/collectives.hpp"
+
+namespace nncomm::pk {
+
+MatAIJ::MatAIJ(rt::Comm& comm, std::shared_ptr<const Layout> layout)
+    : comm_(&comm), layout_(std::move(layout)) {
+    NNCOMM_CHECK_MSG(layout_ && layout_->size() == comm.size(),
+                     "MatAIJ: layout rank count must match communicator");
+    rows_ = layout_->range(comm.rank());
+}
+
+void MatAIJ::add_value(Index row, Index col, double v) {
+    NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: add_value after assemble");
+    NNCOMM_CHECK_MSG(rows_.contains(row), "MatAIJ: row not locally owned");
+    NNCOMM_CHECK_MSG(col >= 0 && col < layout_->global(), "MatAIJ: column out of range");
+    pending_.push_back(Entry{row, col, v, /*insert=*/false});
+}
+
+void MatAIJ::set_value(Index row, Index col, double v) {
+    NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: set_value after assemble");
+    NNCOMM_CHECK_MSG(rows_.contains(row), "MatAIJ: row not locally owned");
+    NNCOMM_CHECK_MSG(col >= 0 && col < layout_->global(), "MatAIJ: column out of range");
+    pending_.push_back(Entry{row, col, v, /*insert=*/true});
+}
+
+void MatAIJ::assemble(ScatterBackend ghost_backend) {
+    NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: already assembled");
+    ghost_backend_ = ghost_backend;
+
+    // Combine duplicate coordinates in insertion order (insert overwrites,
+    // add accumulates).
+    std::map<std::pair<Index, Index>, double> acc;
+    for (const Entry& e : pending_) {
+        auto key = std::make_pair(e.row, e.col);
+        auto [it, fresh] = acc.try_emplace(key, 0.0);
+        if (e.insert) it->second = e.val;
+        else it->second += e.val;
+        (void)fresh;
+    }
+    pending_.clear();
+    pending_.shrink_to_fit();
+
+    // Ghost (off-rank) columns, compacted and sorted.
+    for (const auto& [rc, v] : acc) {
+        if (!rows_.contains(rc.second)) col_map_.push_back(rc.second);
+    }
+    std::sort(col_map_.begin(), col_map_.end());
+    col_map_.erase(std::unique(col_map_.begin(), col_map_.end()), col_map_.end());
+
+    auto ghost_index = [&](Index gcol) {
+        const auto it = std::lower_bound(col_map_.begin(), col_map_.end(), gcol);
+        return static_cast<Index>(it - col_map_.begin());
+    };
+
+    // CSR construction: `acc` is already (row, col)-sorted.
+    const auto nrows = static_cast<std::size_t>(rows_.count());
+    diag_.row_ptr.assign(nrows + 1, 0);
+    offdiag_.row_ptr.assign(nrows + 1, 0);
+    for (const auto& [rc, v] : acc) {
+        const auto r = static_cast<std::size_t>(rc.first - rows_.begin);
+        if (rows_.contains(rc.second)) {
+            diag_.col.push_back(rc.second - rows_.begin);
+            diag_.val.push_back(v);
+            ++diag_.row_ptr[r + 1];
+        } else {
+            offdiag_.col.push_back(ghost_index(rc.second));
+            offdiag_.val.push_back(v);
+            ++offdiag_.row_ptr[r + 1];
+        }
+    }
+    for (std::size_t r = 0; r < nrows; ++r) {
+        diag_.row_ptr[r + 1] += diag_.row_ptr[r];
+        offdiag_.row_ptr[r + 1] += offdiag_.row_ptr[r];
+    }
+
+    // Ghost scatter plan: allgather every rank's ghost-column list so the
+    // replicated index sets can be built identically everywhere.
+    const int n = comm_->size();
+    const auto nranks = static_cast<std::size_t>(n);
+    const Index my_nghost = static_cast<Index>(col_map_.size());
+    std::vector<Index> ghost_counts(nranks);
+    coll::allgather(*comm_, &my_nghost, sizeof(Index), dt::Datatype::byte(),
+                    ghost_counts.data(), sizeof(Index), dt::Datatype::byte());
+
+    std::vector<std::size_t> counts_bytes(nranks), displs(nranks);
+    std::size_t total_ghosts = 0;
+    for (std::size_t r = 0; r < nranks; ++r) {
+        counts_bytes[r] = static_cast<std::size_t>(ghost_counts[r]) * sizeof(Index);
+        displs[r] = total_ghosts * sizeof(Index);
+        total_ghosts += static_cast<std::size_t>(ghost_counts[r]);
+    }
+    std::vector<Index> all_ghost_cols(total_ghosts);
+    coll::allgatherv(*comm_, col_map_.data(), col_map_.size() * sizeof(Index),
+                     dt::Datatype::byte(), all_ghost_cols.data(), counts_bytes, displs,
+                     dt::Datatype::byte());
+
+    ghost_layout_ = std::make_shared<const Layout>(Layout::from_counts(ghost_counts));
+    ghost_vals_ = Vec(*comm_, ghost_layout_);
+    ghost_scatter_ = std::make_unique<VecScatter>(
+        *comm_, *layout_, IndexSet::general(std::move(all_ghost_cols)), *ghost_layout_,
+        IndexSet::identity(static_cast<Index>(total_ghosts)));
+
+    assembled_ = true;
+}
+
+void MatAIJ::mult(const Vec& x, Vec& y) const {
+    NNCOMM_CHECK_MSG(assembled_, "MatAIJ: mult before assemble");
+    NNCOMM_CHECK_MSG(x.local_size() == rows_.count() && y.local_size() == rows_.count(),
+                     "MatAIJ: vector layouts do not match");
+
+    // Gather the off-rank x entries this rank's off-diagonal block needs.
+    ghost_scatter_->execute(x, ghost_vals_, ghost_backend_);
+
+    const auto nrows = static_cast<std::size_t>(rows_.count());
+    const double* xl = x.data();
+    const double* xg = ghost_vals_.data();
+    double* yl = y.data();
+    for (std::size_t r = 0; r < nrows; ++r) {
+        double acc = 0.0;
+        for (std::size_t k = diag_.row_ptr[r]; k < diag_.row_ptr[r + 1]; ++k) {
+            acc += diag_.val[k] * xl[diag_.col[k]];
+        }
+        for (std::size_t k = offdiag_.row_ptr[r]; k < offdiag_.row_ptr[r + 1]; ++k) {
+            acc += offdiag_.val[k] * xg[offdiag_.col[k]];
+        }
+        yl[r] = acc;
+    }
+}
+
+void MatAIJ::get_diagonal(Vec& d) const {
+    NNCOMM_CHECK_MSG(assembled_, "MatAIJ: get_diagonal before assemble");
+    NNCOMM_CHECK_MSG(d.local_size() == rows_.count(), "MatAIJ: vector layout mismatch");
+    const auto nrows = static_cast<std::size_t>(rows_.count());
+    for (std::size_t r = 0; r < nrows; ++r) {
+        double v = 0.0;
+        for (std::size_t k = diag_.row_ptr[r]; k < diag_.row_ptr[r + 1]; ++k) {
+            if (diag_.col[k] == static_cast<Index>(r)) {
+                v = diag_.val[k];
+                break;
+            }
+        }
+        d.data()[r] = v;
+    }
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,92 @@
+// Distributed sparse matrices in PETSc's MPIAIJ format.
+//
+// Rows are partitioned by a Layout (matching the solution vector). Each
+// rank stores two CSR blocks: A (the "diagonal" block, whose columns are
+// locally owned) and B (the "off-diagonal" block, whose columns are
+// compacted and mapped through col_map to global indices). A matvec
+// gathers the needed off-rank x entries with a VecScatter — so every
+// Krylov iteration exercises the paper's scatter machinery — and computes
+// y = A·x_local + B·x_ghost.
+//
+// Assembly restriction (documented, PETSc-typical): each rank inserts only
+// its own rows, so assembly needs no communication beyond building the
+// ghost scatter (one allgatherv of ghost-column lists).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "petsckit/scatter.hpp"
+#include "petsckit/vec.hpp"
+
+namespace nncomm::pk {
+
+/// Sequential CSR block.
+struct CsrBlock {
+    std::vector<std::size_t> row_ptr;  ///< nrows + 1
+    std::vector<Index> col;            ///< block-local column indices
+    std::vector<double> val;
+
+    std::size_t nnz() const { return val.size(); }
+};
+
+class MatAIJ {
+public:
+    /// Square matrix with identical row/column layout (the common case for
+    /// PDE operators). Collective.
+    MatAIJ(rt::Comm& comm, std::shared_ptr<const Layout> layout);
+
+    rt::Comm& comm() const { return *comm_; }
+    const Layout& layout() const { return *layout_; }
+    Index global_size() const { return layout_->global(); }
+    const OwnershipRange& row_range() const { return rows_; }
+
+    /// Accumulates a value (add mode). `row` must be locally owned; `col`
+    /// may be any global index. Must be called before assemble().
+    void add_value(Index row, Index col, double v);
+    /// Insert-or-overwrite variant.
+    void set_value(Index row, Index col, double v);
+
+    /// Builds the CSR blocks and the ghost scatter. Collective.
+    void assemble(ScatterBackend ghost_backend = ScatterBackend::HandTuned);
+    bool assembled() const { return assembled_; }
+
+    /// y = A x. Collective. Layouts of x and y must match the matrix.
+    void mult(const Vec& x, Vec& y) const;
+
+    /// The locally-owned diagonal entries (for Jacobi preconditioning).
+    void get_diagonal(Vec& d) const;
+
+    // -- introspection ------------------------------------------------------------
+    std::size_t local_nnz() const { return diag_.nnz() + offdiag_.nnz(); }
+    std::size_t num_ghost_cols() const { return col_map_.size(); }
+    const CsrBlock& diag_block() const { return diag_; }
+    const CsrBlock& offdiag_block() const { return offdiag_; }
+
+private:
+    struct Entry {
+        Index row;
+        Index col;
+        double val;
+        bool insert;
+    };
+
+    rt::Comm* comm_;
+    std::shared_ptr<const Layout> layout_;
+    OwnershipRange rows_{};
+    std::vector<Entry> pending_;
+    bool assembled_ = false;
+
+    CsrBlock diag_;     ///< columns owned locally (block-local indices)
+    CsrBlock offdiag_;  ///< columns off-rank, compacted
+    std::vector<Index> col_map_;  ///< compact offdiag column -> global index
+
+    // Ghost gather: x (global layout) -> xwork (one entry per ghost col).
+    std::unique_ptr<VecScatter> ghost_scatter_;
+    std::shared_ptr<const Layout> ghost_layout_;
+    mutable Vec ghost_vals_;  ///< scratch destination vector for the gather
+    ScatterBackend ghost_backend_ = ScatterBackend::HandTuned;
+};
+
+}  // namespace nncomm::pk

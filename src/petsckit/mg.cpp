@@ -1,0 +1,267 @@
+#include "petsckit/mg.hpp"
+
+#include <algorithm>
+
+namespace nncomm::pk {
+
+namespace {
+
+/// Coarse extent of one axis (m_fine = 2*m_coarse - 1), identity for
+/// inactive axes (m == 1).
+Index coarsen_extent(Index m) {
+    if (m == 1) return 1;
+    NNCOMM_CHECK_MSG(m >= 3 && (m % 2) == 1,
+                     "MGSolver: grid extent must be odd and >= 3 to coarsen (m = 2*mc - 1)");
+    return (m + 1) / 2;
+}
+
+}  // namespace
+
+MGSolver::MGSolver(rt::Comm& comm, int dim, GridSize fine, const MGConfig& config)
+    : config_(config) {
+    NNCOMM_CHECK_MSG(config.levels >= 1, "MGSolver: need at least one level");
+
+    GridSize g = fine;
+    for (int l = 0; l < config.levels; ++l) {
+        Level lvl;
+        lvl.dmda = std::make_shared<const DMDA>(comm, dim, g, 1, 1, Stencil::Star);
+        lvl.op = std::make_unique<LaplacianOp>(lvl.dmda, config.coll);
+        lvl.b = lvl.dmda->create_global();
+        lvl.x = lvl.b.clone_empty();
+        lvl.r = lvl.b.clone_empty();
+        lvl.diag = lvl.b.clone_empty();
+        lvl.op->fill_diagonal(lvl.diag);
+        if (config.smoother == Smoother::Chebyshev) {
+            Vec d = lvl.diag.clone_empty();
+            d.copy_from(lvl.diag);
+            lvl.jacobi = std::make_unique<JacobiPreconditioner>(std::move(d));
+            lvl.lambda_max = estimate_max_eigenvalue(*lvl.op, lvl.b,
+                                                     config.cheby_power_iters,
+                                                     lvl.jacobi.get());
+        }
+        levels_.push_back(std::move(lvl));
+        if (l + 1 < config.levels) {
+            g = GridSize{coarsen_extent(g.m), coarsen_extent(g.n), coarsen_extent(g.p)};
+        }
+    }
+
+    // Transfer plans between consecutive levels.
+    for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+        const DMDA& fda = *levels_[l].dmda;
+        const DMDA& cda = *levels_[l + 1].dmda;
+        const GridSize fg = fda.grid();
+        const GridBox& fo = fda.owned();
+        const GridBox& co = cda.owned();
+
+        // Restriction reads the fine residual in [2I-1, 2I+1] around every
+        // owned coarse point I (clamped to the domain).
+        auto fine_span = [&](Index cs, Index cm, Index fm) -> std::pair<Index, Index> {
+            if (fm == 1) return {0, 1};
+            const Index lo = std::max<Index>(0, 2 * cs - 1);
+            const Index hi = std::min<Index>(fm - 1, 2 * (cs + cm - 1) + 1);
+            return {lo, hi - lo + 1};
+        };
+        GridBox fpatch;
+        std::tie(fpatch.xs, fpatch.xm) = fine_span(co.xs, co.xm, fg.m);
+        std::tie(fpatch.ys, fpatch.ym) = fine_span(co.ys, co.ym, fg.n);
+        std::tie(fpatch.zs, fpatch.zm) = fine_span(co.zs, co.zm, fg.p);
+        levels_[l].fine_patch = std::make_unique<PatchGather>(fda, fpatch);
+
+        // Prolongation reads the coarse correction in [floor(i/2),
+        // floor((i+1)/2)] around every owned fine point i.
+        const GridSize cg = cda.grid();
+        auto coarse_span = [&](Index fs, Index fm, Index cm) -> std::pair<Index, Index> {
+            if (cm == 1) return {0, 1};
+            const Index lo = fs / 2;
+            const Index hi = std::min<Index>(cm - 1, (fs + fm) / 2);
+            return {lo, hi - lo + 1};
+        };
+        GridBox cpatch;
+        std::tie(cpatch.xs, cpatch.xm) = coarse_span(fo.xs, fo.xm, cg.m);
+        std::tie(cpatch.ys, cpatch.ym) = coarse_span(fo.ys, fo.ym, cg.n);
+        std::tie(cpatch.zs, cpatch.zm) = coarse_span(fo.zs, fo.zm, cg.p);
+        levels_[l].coarse_patch = std::make_unique<PatchGather>(cda, cpatch);
+    }
+}
+
+void MGSolver::smooth(Level& lvl, const Vec& b, Vec& x, int sweeps) {
+    if (config_.smoother == Smoother::Chebyshev) {
+        chebyshev(*lvl.op, b, x, config_.cheby_fraction_lo * lvl.lambda_max,
+                  config_.cheby_fraction_hi * lvl.lambda_max, sweeps, lvl.jacobi.get());
+        return;
+    }
+    const std::size_t n = static_cast<std::size_t>(x.local_size());
+    for (int s = 0; s < sweeps; ++s) {
+        lvl.op->apply(x, lvl.r);            // r = A x
+        lvl.r.waxpy_diff(b, lvl.r);         // r = b - A x
+        double* xd = x.data();
+        const double* rd = lvl.r.data();
+        const double* dd = lvl.diag.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            xd[i] += config_.jacobi_omega * rd[i] / dd[i];
+        }
+    }
+}
+
+void MGSolver::restrict_residual(std::size_t fine_level) {
+    Level& fine = levels_[fine_level];
+    Level& coarse = levels_[fine_level + 1];
+    fine.fine_patch->gather(fine.r, config_.scatter_backend);
+
+    const PatchGather& patch = *fine.fine_patch;
+    const DMDA& cda = *coarse.dmda;
+    const GridBox& co = cda.owned();
+    const GridSize fg = fine.dmda->grid();
+    const int dim = cda.dim();
+
+    // Full weighting: tensor product of [1/4, 1/2, 1/4] over active axes;
+    // out-of-domain fine points are skipped (their residual is zero by the
+    // boundary elimination anyway).
+    auto w1d = [](int off) { return off == 0 ? 0.5 : 0.25; };
+    double* out = coarse.b.data();
+    std::size_t at = 0;
+    for (Index K = co.zs; K < co.zs + co.zm; ++K) {
+        for (Index J = co.ys; J < co.ys + co.ym; ++J) {
+            for (Index I = co.xs; I < co.xs + co.xm; ++I, ++at) {
+                if (coarse.op->on_boundary(I, J, K)) {
+                    // Dirichlet rows stay homogeneous on every level.
+                    out[at] = 0.0;
+                    continue;
+                }
+                const Index fi = 2 * I;
+                const Index fj = (dim >= 2) ? 2 * J : 0;
+                const Index fk = (dim >= 3) ? 2 * K : 0;
+                double acc = 0.0;
+                const int zr = (dim >= 3) ? 1 : 0;
+                const int yr = (dim >= 2) ? 1 : 0;
+                for (int dz = -zr; dz <= zr; ++dz) {
+                    if (fk + dz < 0 || fk + dz >= fg.p) continue;
+                    for (int dy = -yr; dy <= yr; ++dy) {
+                        if (fj + dy < 0 || fj + dy >= fg.n) continue;
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            if (fi + dx < 0 || fi + dx >= fg.m) continue;
+                            double w = w1d(dx);
+                            if (dim >= 2) w *= w1d(dy);
+                            if (dim >= 3) w *= w1d(dz);
+                            acc += w * patch.values()[static_cast<std::size_t>(
+                                           patch.index(fi + dx, fj + dy, fk + dz))];
+                        }
+                    }
+                }
+                out[at] = acc;
+            }
+        }
+    }
+}
+
+void MGSolver::prolong_and_correct(std::size_t fine_level) {
+    Level& fine = levels_[fine_level];
+    Level& coarse = levels_[fine_level + 1];
+    fine.coarse_patch->gather(coarse.x, config_.scatter_backend);
+
+    const PatchGather& patch = *fine.coarse_patch;
+    const DMDA& fda = *fine.dmda;
+    const GridBox& fo = fda.owned();
+    const int dim = fda.dim();
+
+    // Linear interpolation per axis: even fine index -> the coarse point,
+    // odd -> the average of its two coarse neighbors.
+    struct Interp {
+        Index c0, c1;
+        double w0, w1;
+    };
+    auto interp1d = [](Index i) -> Interp {
+        if ((i & 1) == 0) return {i / 2, i / 2, 1.0, 0.0};
+        return {(i - 1) / 2, (i + 1) / 2, 0.5, 0.5};
+    };
+
+    double* xd = fine.x.data();
+    std::size_t at = 0;
+    for (Index k = fo.zs; k < fo.zs + fo.zm; ++k) {
+        const Interp iz = (dim >= 3) ? interp1d(k) : Interp{0, 0, 1.0, 0.0};
+        for (Index j = fo.ys; j < fo.ys + fo.ym; ++j) {
+            const Interp iy = (dim >= 2) ? interp1d(j) : Interp{0, 0, 1.0, 0.0};
+            for (Index i = fo.xs; i < fo.xs + fo.xm; ++i, ++at) {
+                const Interp ix = interp1d(i);
+                double acc = 0.0;
+                for (int az = 0; az < 2; ++az) {
+                    const double wz = az == 0 ? iz.w0 : iz.w1;
+                    if (wz == 0.0) continue;
+                    const Index K = az == 0 ? iz.c0 : iz.c1;
+                    for (int ay = 0; ay < 2; ++ay) {
+                        const double wy = ay == 0 ? iy.w0 : iy.w1;
+                        if (wy == 0.0) continue;
+                        const Index J = ay == 0 ? iy.c0 : iy.c1;
+                        for (int ax = 0; ax < 2; ++ax) {
+                            const double wx = ax == 0 ? ix.w0 : ix.w1;
+                            if (wx == 0.0) continue;
+                            const Index I = ax == 0 ? ix.c0 : ix.c1;
+                            acc += wz * wy * wx *
+                                   patch.values()[static_cast<std::size_t>(
+                                       patch.index(I, J, K))];
+                        }
+                    }
+                }
+                xd[at] += acc;
+            }
+        }
+    }
+}
+
+void MGSolver::cycle(std::size_t l) {
+    // Improves levels_[l].x for the current levels_[l].b (the caller has
+    // initialized x — zero for correction levels, the iterate on level 0).
+    Level& lvl = levels_[l];
+    if (l + 1 == levels_.size()) {
+        cg(*lvl.op, lvl.b, lvl.x, config_.coarse_solver);
+        return;
+    }
+    smooth(lvl, lvl.b, lvl.x, config_.pre_smooth);
+    lvl.op->apply(lvl.x, lvl.r);
+    lvl.r.waxpy_diff(lvl.b, lvl.r);  // r = b - A x
+    restrict_residual(l);
+    // gamma recursive corrections: one for a V-cycle, two for a W-cycle
+    // (the second pass continues improving the same coarse solution).
+    levels_[l + 1].x.zero();
+    const int gamma = (config_.cycle_type == CycleType::W) ? 2 : 1;
+    for (int g = 0; g < gamma; ++g) cycle(l + 1);
+    prolong_and_correct(l);
+    smooth(lvl, lvl.b, lvl.x, config_.post_smooth);
+}
+
+void MGSolver::v_cycle(const Vec& b, Vec& x) {
+    levels_[0].b.copy_from(b);
+    levels_[0].x.copy_from(x);
+    cycle(0);
+    x.copy_from(levels_[0].x);
+}
+
+KspResult MGSolver::solve(const Vec& b, Vec& x, double rtol, int max_cycles) {
+    Vec r = b.clone_empty();
+    Vec Ax = b.clone_empty();
+    const LaplacianOp& A = *levels_[0].op;
+
+    A.apply(x, Ax);
+    r.waxpy_diff(b, Ax);
+    const double r0 = r.norm2();
+    KspResult result;
+    result.residual_norm = r0;
+    if (r0 == 0.0) {
+        result.converged = true;
+        return result;
+    }
+    for (int it = 1; it <= max_cycles; ++it) {
+        v_cycle(b, x);
+        A.apply(x, Ax);
+        r.waxpy_diff(b, Ax);
+        result.iterations = it;
+        result.residual_norm = r.norm2();
+        if (result.residual_norm <= rtol * r0) {
+            result.converged = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,212 @@
+#include "petsckit/scatter.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nncomm::pk {
+
+namespace {
+constexpr int kScatterTag = 0x5CA7;  // hand-tuned backend's user-level tag
+
+dt::Datatype offsets_type(const std::vector<Index>& offsets) {
+    std::vector<std::size_t> lens(offsets.size(), 1);
+    std::vector<std::ptrdiff_t> displs(offsets.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        displs[i] = static_cast<std::ptrdiff_t>(offsets[i]) * 8;
+    }
+    return dt::Datatype::hindexed(lens, displs, dt::Datatype::float64());
+}
+}  // namespace
+
+VecScatter::VecScatter(rt::Comm& comm, const Layout& src_layout, const IndexSet& is_src,
+                       const Layout& dst_layout, const IndexSet& is_dst)
+    : comm_(&comm) {
+    NNCOMM_CHECK_MSG(is_src.size() == is_dst.size(),
+                     "VecScatter: index sets must have equal length");
+    const int n = comm.size();
+    const int rank = comm.rank();
+    NNCOMM_CHECK_MSG(src_layout.size() == n && dst_layout.size() == n,
+                     "VecScatter: layouts must match the communicator");
+    src_local_ = src_layout.range(rank).count();
+    dst_local_ = dst_layout.range(rank).count();
+
+    const Index src_begin = src_layout.range(rank).begin;
+    const Index dst_begin = dst_layout.range(rank).begin;
+
+    // Every rank walks the full replicated pair list; entries are grouped
+    // by peer in k order, so sender and receiver enumerate each pair's
+    // elements identically.
+    std::map<int, PeerPlan> send_map, recv_map;
+    for (std::size_t k = 0; k < is_src.size(); ++k) {
+        const Index gs = is_src[k];
+        const Index gd = is_dst[k];
+        const int so = src_layout.owner(gs);
+        const int dow = dst_layout.owner(gd);
+        if (so == rank && dow == rank) {
+            self_src_.push_back(gs - src_begin);
+            self_dst_.push_back(gd - dst_begin);
+        } else if (so == rank) {
+            auto& plan = send_map[dow];
+            plan.rank = dow;
+            plan.offsets.push_back(gs - src_begin);
+        } else if (dow == rank) {
+            auto& plan = recv_map[so];
+            plan.rank = so;
+            plan.offsets.push_back(gd - dst_begin);
+        }
+    }
+    for (auto& [r, plan] : send_map) sends_.push_back(std::move(plan));
+    for (auto& [r, plan] : recv_map) recvs_.push_back(std::move(plan));
+
+    send_bytes_.assign(static_cast<std::size_t>(n), 0);
+    for (const PeerPlan& p : sends_) {
+        send_bytes_[static_cast<std::size_t>(p.rank)] = p.offsets.size() * 8;
+    }
+
+    // Prebuild the Alltoallw argument arrays for the datatype backends.
+    const auto nn = static_cast<std::size_t>(n);
+    w_sendcounts_.assign(nn, 0);
+    w_recvcounts_.assign(nn, 0);
+    w_sdispls_.assign(nn, 0);
+    w_rdispls_.assign(nn, 0);
+    w_sendtypes_.assign(nn, dt::Datatype::byte());
+    w_recvtypes_.assign(nn, dt::Datatype::byte());
+    for (const PeerPlan& p : sends_) {
+        w_sendcounts_[static_cast<std::size_t>(p.rank)] = 1;
+        w_sendtypes_[static_cast<std::size_t>(p.rank)] = offsets_type(p.offsets);
+    }
+    for (const PeerPlan& p : recvs_) {
+        w_recvcounts_[static_cast<std::size_t>(p.rank)] = 1;
+        w_recvtypes_[static_cast<std::size_t>(p.rank)] = offsets_type(p.offsets);
+    }
+    if (!self_src_.empty()) {
+        w_sendcounts_[static_cast<std::size_t>(rank)] = 1;
+        w_sendtypes_[static_cast<std::size_t>(rank)] = offsets_type(self_src_);
+        w_recvcounts_[static_cast<std::size_t>(rank)] = 1;
+        w_recvtypes_[static_cast<std::size_t>(rank)] = offsets_type(self_dst_);
+    }
+}
+
+std::vector<std::uint64_t> VecScatter::send_blocks() const {
+    std::vector<std::uint64_t> blocks(send_bytes_.size(), 0);
+    for (const PeerPlan& p : sends_) {
+        blocks[static_cast<std::size_t>(p.rank)] =
+            w_sendtypes_[static_cast<std::size_t>(p.rank)].block_count();
+    }
+    return blocks;
+}
+
+void VecScatter::execute(const Vec& src, Vec& dst, ScatterBackend backend,
+                         InsertMode insert) const {
+    NNCOMM_CHECK_MSG(src.local_size() == src_local_ && dst.local_size() == dst_local_,
+                     "VecScatter::execute: vectors do not match the planned layouts");
+    NNCOMM_CHECK_MSG(insert == InsertMode::Insert || backend == ScatterBackend::HandTuned,
+                     "VecScatter: Add mode requires the hand-tuned backend");
+    switch (backend) {
+        case ScatterBackend::HandTuned:
+            run_hand_tuned(src, sends_, self_src_, dst, recvs_, self_dst_, insert);
+            break;
+        case ScatterBackend::DatatypeBaseline:
+            execute_datatype(src, dst, coll::AlltoallwAlgo::RoundRobin,
+                             dt::EngineKind::SingleContext, ScatterMode::Forward);
+            break;
+        case ScatterBackend::DatatypeOptimized:
+            execute_datatype(src, dst, coll::AlltoallwAlgo::Binned,
+                             dt::EngineKind::DualContext, ScatterMode::Forward);
+            break;
+    }
+}
+
+void VecScatter::execute_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
+                                 InsertMode insert) const {
+    NNCOMM_CHECK_MSG(src.local_size() == src_local_ && dst.local_size() == dst_local_,
+                     "VecScatter::execute_reverse: vectors do not match the planned layouts");
+    NNCOMM_CHECK_MSG(insert == InsertMode::Insert || backend == ScatterBackend::HandTuned,
+                     "VecScatter: Add mode requires the hand-tuned backend");
+    switch (backend) {
+        case ScatterBackend::HandTuned:
+            // The plans swap roles wholesale: forward-receivers become
+            // senders of their dst entries, forward-senders accumulate
+            // into their src entries.
+            run_hand_tuned(dst, recvs_, self_dst_, src, sends_, self_src_, insert);
+            break;
+        case ScatterBackend::DatatypeBaseline:
+            execute_datatype(src, const_cast<Vec&>(dst), coll::AlltoallwAlgo::RoundRobin,
+                             dt::EngineKind::SingleContext, ScatterMode::Reverse);
+            break;
+        case ScatterBackend::DatatypeOptimized:
+            execute_datatype(src, const_cast<Vec&>(dst), coll::AlltoallwAlgo::Binned,
+                             dt::EngineKind::DualContext, ScatterMode::Reverse);
+            break;
+    }
+}
+
+void VecScatter::run_hand_tuned(const Vec& from, const std::vector<PeerPlan>& from_plans,
+                                const std::vector<Index>& from_self, Vec& to,
+                                const std::vector<PeerPlan>& to_plans,
+                                const std::vector<Index>& to_self, InsertMode insert) const {
+    // PETSc's default path: explicit packing and per-peer point-to-point,
+    // no derived datatypes, no collective.
+    std::vector<std::vector<double>> recv_bufs(to_plans.size());
+    std::vector<rt::Request> recv_reqs;
+    recv_reqs.reserve(to_plans.size());
+    for (std::size_t i = 0; i < to_plans.size(); ++i) {
+        recv_bufs[i].resize(to_plans[i].offsets.size());
+        recv_reqs.push_back(comm_->irecv(recv_bufs[i].data(), recv_bufs[i].size() * 8,
+                                         dt::Datatype::byte(), to_plans[i].rank, kScatterTag));
+    }
+
+    std::vector<std::vector<double>> send_bufs(from_plans.size());
+    for (std::size_t i = 0; i < from_plans.size(); ++i) {
+        const PeerPlan& p = from_plans[i];
+        send_bufs[i].resize(p.offsets.size());
+        const double* s = from.data();
+        for (std::size_t k = 0; k < p.offsets.size(); ++k) {
+            send_bufs[i][k] = s[p.offsets[k]];
+        }
+        comm_->isend(send_bufs[i].data(), send_bufs[i].size() * 8, dt::Datatype::byte(), p.rank,
+                     kScatterTag);
+    }
+
+    // Local moves overlap the transfers.
+    for (std::size_t k = 0; k < from_self.size(); ++k) {
+        if (insert == InsertMode::Insert) {
+            to.data()[to_self[k]] = from.data()[from_self[k]];
+        } else {
+            to.data()[to_self[k]] += from.data()[from_self[k]];
+        }
+    }
+
+    comm_->waitall(recv_reqs);
+    for (std::size_t i = 0; i < to_plans.size(); ++i) {
+        const PeerPlan& p = to_plans[i];
+        double* d = to.data();
+        for (std::size_t k = 0; k < p.offsets.size(); ++k) {
+            if (insert == InsertMode::Insert) {
+                d[p.offsets[k]] = recv_bufs[i][k];
+            } else {
+                d[p.offsets[k]] += recv_bufs[i][k];
+            }
+        }
+    }
+}
+
+void VecScatter::execute_datatype(const Vec& src, Vec& dst, coll::AlltoallwAlgo algo,
+                                  dt::EngineKind engine, ScatterMode mode) const {
+    const dt::EngineKind saved = comm_->engine_kind();
+    comm_->set_engine(engine);
+    coll::CollConfig cfg;
+    cfg.alltoallw_algo = algo;
+    if (mode == ScatterMode::Forward) {
+        coll::alltoallw(*comm_, src.data(), w_sendcounts_, w_sdispls_, w_sendtypes_, dst.data(),
+                        w_recvcounts_, w_rdispls_, w_recvtypes_, cfg);
+    } else {
+        // Reverse: the argument arrays swap roles exactly.
+        coll::alltoallw(*comm_, dst.data(), w_recvcounts_, w_rdispls_, w_recvtypes_,
+                        const_cast<Vec&>(src).data(), w_sendcounts_, w_sdispls_, w_sendtypes_,
+                        cfg);
+    }
+    comm_->set_engine(saved);
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,62 @@
+#include "petsckit/snes.hpp"
+
+#include "petsckit/ksp.hpp"
+
+namespace nncomm::pk {
+
+SnesResult newton_solve(const NonlinearSystem& system, Vec& x, const SnesConfig& config) {
+    SnesResult result;
+    Vec f = x.clone_empty();
+    Vec dx = x.clone_empty();
+    Vec trial = x.clone_empty();
+    Vec neg_f = x.clone_empty();
+
+    system.residual(x, f);
+    double fnorm = f.norm2();
+    const double f0 = fnorm;
+    result.residual_norm = fnorm;
+    if (fnorm <= config.atol) {
+        result.converged = true;
+        return result;
+    }
+
+    for (int it = 1; it <= config.max_iters; ++it) {
+        // Assemble J(x) and solve J dx = -F(x).
+        MatAIJ jac(x.comm(), x.layout_ptr());
+        system.jacobian(x, jac);
+        jac.assemble(config.scatter_backend);
+
+        neg_f.copy_from(f);
+        neg_f.scale(-1.0);
+        dx.zero();
+        Vec diag = x.clone_empty();
+        jac.get_diagonal(diag);
+        JacobiPreconditioner pc(std::move(diag));
+        MatOperator J(jac);
+        const KspResult lin = cg(J, neg_f, dx, config.ksp, &pc);
+        result.total_ksp_iterations += lin.iterations;
+
+        // Backtracking line search on ||F(x + lambda dx)||.
+        double lambda = 1.0;
+        double trial_norm = fnorm;
+        for (int bt = 0; bt <= config.max_backtracks; ++bt) {
+            trial.copy_from(x);
+            trial.axpy(lambda, dx);
+            system.residual(trial, f);
+            trial_norm = f.norm2();
+            if (!config.line_search || trial_norm < fnorm) break;
+            lambda *= 0.5;
+        }
+        x.copy_from(trial);
+        fnorm = trial_norm;
+        result.iterations = it;
+        result.residual_norm = fnorm;
+        if (fnorm <= config.rtol * f0 || fnorm <= config.atol) {
+            result.converged = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+}  // namespace nncomm::pk

@@ -1,0 +1,54 @@
+// SNES: Newton–Krylov nonlinear solvers (the layer above KSP in PETSc's
+// architecture, Figure 1 of the paper).
+//
+// Solves F(x) = 0 by damped Newton iteration: each step assembles the
+// Jacobian J(x) (a fresh MatAIJ — assembly rebuilds the ghost scatter, as
+// PETSc does on nonzero-pattern changes), solves J dx = -F(x) with CG, and
+// applies a backtracking line search on ||F||. Every residual evaluation,
+// Jacobian matvec and line-search probe runs the communication stack the
+// paper optimizes (ghost exchanges, scatters, allreduces).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "petsckit/ksp.hpp"
+#include "petsckit/mat.hpp"
+#include "petsckit/vec.hpp"
+
+namespace nncomm::pk {
+
+/// A nonlinear system F(x) = 0 with an assembled Jacobian.
+class NonlinearSystem {
+public:
+    virtual ~NonlinearSystem() = default;
+    /// f = F(x). Collective.
+    virtual void residual(const Vec& x, Vec& f) const = 0;
+    /// Assembles J(x) into a fresh matrix over `layout` (insert only into
+    /// locally-owned rows). The caller assembles and owns the matrix.
+    virtual void jacobian(const Vec& x, MatAIJ& jac) const = 0;
+};
+
+struct SnesConfig {
+    double rtol = 1e-8;       ///< ||F|| reduction relative to the first iterate
+    double atol = 1e-12;      ///< absolute ||F|| tolerance
+    int max_iters = 50;
+    KspConfig ksp{1e-6, 1e-50, 1000};  ///< inner linear solves (inexact Newton)
+    bool line_search = true;  ///< backtracking on ||F||
+    int max_backtracks = 8;
+    /// Backend for the Jacobian's ghost scatter — the experiment knob.
+    ScatterBackend scatter_backend = ScatterBackend::HandTuned;
+};
+
+struct SnesResult {
+    bool converged = false;
+    int iterations = 0;            ///< Newton steps taken
+    double residual_norm = 0.0;    ///< final ||F(x)||
+    int total_ksp_iterations = 0;  ///< summed inner CG iterations
+};
+
+/// Newton's method with analytic Jacobian and Jacobi-preconditioned CG.
+/// x holds the initial guess and is overwritten with the solution.
+SnesResult newton_solve(const NonlinearSystem& system, Vec& x, const SnesConfig& config = {});
+
+}  // namespace nncomm::pk

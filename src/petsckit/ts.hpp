@@ -1,0 +1,70 @@
+// TS: time stepping for the heat equation u_t = Δu + f on a DMDA grid
+// (the "TS" layer of PETSc's architecture, Figure 1 of the paper).
+//
+// Two integrators:
+//   - backward (implicit) Euler: (I/dt - Δ) u^{n+1} = u^n/dt + f, solved
+//     with Jacobi-preconditioned CG each step (unconditionally stable);
+//   - forward (explicit) Euler: u^{n+1} = u^n + dt (Δu^n + f), stable only
+//     for dt <= h²/(2·dim).
+// Boundary points stay pinned at zero (homogeneous Dirichlet), consistent
+// with LaplacianOp's boundary elimination. Every step performs at least
+// one ghost exchange; the implicit path adds the full CG communication.
+#pragma once
+
+#include <memory>
+
+#include "petsckit/laplacian.hpp"
+
+namespace nncomm::pk {
+
+enum class TimeScheme { BackwardEuler, ForwardEuler };
+
+struct TsConfig {
+    double dt = 1e-3;
+    TimeScheme scheme = TimeScheme::BackwardEuler;
+    KspConfig ksp{1e-10, 1e-50, 2000};  ///< implicit solves
+    coll::CollConfig coll{};            ///< ghost-exchange algorithms
+};
+
+/// Shifted operator for the implicit step: y = x/dt + (-Δ)x on interior
+/// points, y = x on boundary points (SPD, so CG applies).
+class HeatImplicitOp final : public LinearOperator {
+public:
+    HeatImplicitOp(std::shared_ptr<const DMDA> dmda, double dt, coll::CollConfig config);
+    void apply(const Vec& x, Vec& y) const override;
+    void fill_diagonal(Vec& d) const;
+
+private:
+    LaplacianOp lap_;
+    double inv_dt_;
+    mutable Vec scratch_;
+};
+
+class HeatSolver {
+public:
+    HeatSolver(std::shared_ptr<const DMDA> dmda, const TsConfig& config = {});
+
+    /// Advances u by one step with source term f (may be invalid for f=0).
+    /// Returns the inner CG iterations (0 for the explicit scheme).
+    int step(Vec& u, const Vec* forcing = nullptr);
+
+    /// Advances n steps; returns total inner iterations.
+    int advance(Vec& u, int steps, const Vec* forcing = nullptr);
+
+    const DMDA& dmda() const { return *dmda_; }
+    const TsConfig& config() const { return config_; }
+    double time() const { return time_; }
+    /// Largest stable dt for the explicit scheme on this grid.
+    double explicit_stability_limit() const;
+
+private:
+    std::shared_ptr<const DMDA> dmda_;
+    TsConfig config_;
+    LaplacianOp lap_;
+    std::unique_ptr<HeatImplicitOp> implicit_op_;
+    std::unique_ptr<JacobiPreconditioner> pc_;
+    double time_ = 0.0;
+    Vec rhs_, lap_u_;
+};
+
+}  // namespace nncomm::pk

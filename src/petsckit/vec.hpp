@@ -1,0 +1,149 @@
+// Distributed vector (PETSc Vec).
+//
+// Each rank stores its contiguous owned range of a Layout (the uniform
+// split by default, or an arbitrary partition, e.g. DMDA box volumes).
+// Pointwise operations are purely local; inner products and norms reduce
+// over the communicator (all ranks of the communicator must call them
+// together, as with every collective in this library).
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "petsckit/layout.hpp"
+#include "runtime/comm.hpp"
+
+namespace nncomm::pk {
+
+class Vec {
+public:
+    Vec() = default;
+
+    /// Uniform split of `global_size` across the communicator.
+    Vec(rt::Comm& comm, Index global_size)
+        : Vec(comm, std::make_shared<const Layout>(Layout::uniform(global_size, comm.size()))) {}
+
+    /// Arbitrary replicated partition (must have comm.size() ranks).
+    Vec(rt::Comm& comm, std::shared_ptr<const Layout> layout)
+        : comm_(&comm), layout_(std::move(layout)) {
+        NNCOMM_CHECK_MSG(layout_ && layout_->size() == comm.size(),
+                         "Vec: layout rank count must match communicator");
+        range_ = layout_->range(comm.rank());
+        data_.assign(static_cast<std::size_t>(range_.count()), 0.0);
+    }
+
+    /// Collective constructor from this rank's local size: gathers the
+    /// counts to build the shared layout.
+    static Vec from_local_size(rt::Comm& comm, Index local) {
+        std::vector<Index> counts(static_cast<std::size_t>(comm.size()));
+        coll::allgather(comm, &local, sizeof(Index), dt::Datatype::byte(), counts.data(),
+                        sizeof(Index), dt::Datatype::byte());
+        return Vec(comm, std::make_shared<const Layout>(Layout::from_counts(counts)));
+    }
+
+    bool valid() const { return comm_ != nullptr; }
+    rt::Comm& comm() const { return *comm_; }
+    const Layout& layout() const { return *layout_; }
+    std::shared_ptr<const Layout> layout_ptr() const { return layout_; }
+    Index global_size() const { return layout_->global(); }
+    Index local_size() const { return range_.count(); }
+    const OwnershipRange& range() const { return range_; }
+
+    std::span<double> local() { return data_; }
+    std::span<const double> local() const { return data_; }
+    double* data() { return data_.data(); }
+    const double* data() const { return data_.data(); }
+
+    /// Accessor by global index (must be locally owned).
+    double& at_global(Index i) {
+        NNCOMM_CHECK_MSG(range_.contains(i), "at_global: index not owned");
+        return data_[static_cast<std::size_t>(i - range_.begin)];
+    }
+    double at_global(Index i) const {
+        NNCOMM_CHECK_MSG(range_.contains(i), "at_global: index not owned");
+        return data_[static_cast<std::size_t>(i - range_.begin)];
+    }
+
+    // -- local pointwise operations -------------------------------------------
+    void set_all(double v) {
+        for (double& x : data_) x = v;
+    }
+    void zero() { set_all(0.0); }
+    void scale(double a) {
+        for (double& x : data_) x *= a;
+    }
+    void shift(double a) {
+        for (double& x : data_) x += a;
+    }
+    /// this += a * x
+    void axpy(double a, const Vec& x) {
+        check_compatible(x);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+    }
+    /// this = a * this + x
+    void aypx(double a, const Vec& x) {
+        check_compatible(x);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = a * data_[i] + x.data_[i];
+    }
+    /// this = x - y
+    void waxpy_diff(const Vec& x, const Vec& y) {
+        check_compatible(x);
+        check_compatible(y);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = x.data_[i] - y.data_[i];
+    }
+    void copy_from(const Vec& x) {
+        check_compatible(x);
+        data_ = x.data_;
+    }
+    void pointwise_mult(const Vec& x, const Vec& y) {
+        check_compatible(x);
+        check_compatible(y);
+        for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = x.data_[i] * y.data_[i];
+    }
+
+    // -- reductions (collective) ------------------------------------------------
+    double dot(const Vec& x) const {
+        check_compatible(x);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * x.data_[i];
+        return coll::allreduce_one(*comm_, acc, coll::ReduceOp::Sum);
+    }
+    double norm2() const { return std::sqrt(dot(*this)); }
+    double norm_inf() const {
+        double acc = 0.0;
+        for (double v : data_) acc = std::max(acc, std::abs(v));
+        return coll::allreduce_one(*comm_, acc, coll::ReduceOp::Max);
+    }
+    double sum() const {
+        double acc = 0.0;
+        for (double v : data_) acc += v;
+        return coll::allreduce_one(*comm_, acc, coll::ReduceOp::Sum);
+    }
+
+    /// A zeroed vector with the same layout and communicator.
+    Vec clone_empty() const {
+        Vec v;
+        v.comm_ = comm_;
+        v.layout_ = layout_;
+        v.range_ = range_;
+        v.data_.assign(data_.size(), 0.0);
+        return v;
+    }
+
+private:
+    void check_compatible(const Vec& x) const {
+        NNCOMM_CHECK_MSG(x.range_.begin == range_.begin && x.range_.end == range_.end &&
+                             x.global_size() == global_size(),
+                         "Vec operation on incompatible layouts");
+    }
+
+    rt::Comm* comm_ = nullptr;
+    std::shared_ptr<const Layout> layout_;
+    OwnershipRange range_{};
+    std::vector<double> data_;
+};
+
+}  // namespace nncomm::pk

@@ -1,0 +1,416 @@
+#include "runtime/comm.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/error.hpp"
+#include "datatype/pack.hpp"
+
+namespace nncomm::rt {
+
+namespace detail {
+
+/// Internal collective traffic uses a shifted context so it can never match
+/// user-posted wildcard receives on the same communicator.
+inline constexpr int kInternalContextOffset = 1 << 30;
+
+struct Envelope {
+    int source = -1;
+    int tag = -1;
+    int context = 0;
+    std::vector<std::byte> payload;
+};
+
+struct RequestState {
+    enum class Kind { Send, Recv };
+    Kind kind = Kind::Send;
+
+    // Receive descriptor.
+    void* buf = nullptr;
+    std::size_t count = 0;
+    dt::Datatype type;
+    int source = kAnySource;
+    int tag = kAnyTag;
+    int context = 0;
+    int owner_rank = -1;
+
+    // Filled when a matching envelope arrives.
+    bool matched = false;
+    Envelope env;
+
+    // Set by wait() after unpacking.
+    bool complete = false;
+    RecvStatus status;
+};
+
+struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> unexpected;                          // arrival order
+    std::deque<std::shared_ptr<RequestState>> posted;         // post order
+};
+
+struct WorldState {
+    int nranks = 0;
+    std::vector<std::unique_ptr<Mailbox>> boxes;
+    std::atomic<bool> aborted{false};
+    std::atomic<int> next_context{1};
+
+    void abort_all() {
+        aborted.store(true, std::memory_order_release);
+        for (auto& b : boxes) {
+            std::lock_guard<std::mutex> lk(b->mu);
+            b->cv.notify_all();
+        }
+    }
+};
+
+namespace {
+
+bool matches(const RequestState& req, const Envelope& env) {
+    return req.context == env.context && (req.source == kAnySource || req.source == env.source) &&
+           (req.tag == kAnyTag || req.tag == env.tag);
+}
+
+void deliver(WorldState& world, int dest, Envelope&& env) {
+    NNCOMM_CHECK_MSG(dest >= 0 && dest < world.nranks, "send to invalid rank");
+    Mailbox& box = *world.boxes[static_cast<std::size_t>(dest)];
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+        if (matches(**it, env)) {
+            (*it)->env = std::move(env);
+            (*it)->matched = true;
+            box.posted.erase(it);
+            box.cv.notify_all();
+            return;
+        }
+    }
+    box.unexpected.push_back(std::move(env));
+    box.cv.notify_all();  // wake probers
+}
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::Envelope;
+using detail::Mailbox;
+using detail::RequestState;
+using detail::WorldState;
+
+// ---------------------------------------------------------------------------
+// Comm
+
+int Comm::size() const { return world_->nranks; }
+
+Request Comm::irecv_ctx(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                        int tag, int context) {
+    NNCOMM_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
+                     "irecv: invalid source rank");
+    auto req = std::make_shared<RequestState>();
+    req->kind = RequestState::Kind::Recv;
+    req->buf = buf;
+    req->count = count;
+    req->type = type;
+    req->source = source;
+    req->tag = tag;
+    req->context = context;
+    req->owner_rank = rank_;
+
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lk(box.mu);
+    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+        if (detail::matches(*req, *it)) {
+            req->env = std::move(*it);
+            req->matched = true;
+            box.unexpected.erase(it);
+            return Request(std::move(req));
+        }
+    }
+    box.posted.push_back(req);
+    return Request(std::move(req));
+}
+
+Request Comm::irecv(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                    int tag) {
+    return irecv_ctx(buf, count, type, source, tag, context_);
+}
+
+void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                    int tag, int context) {
+    NNCOMM_CHECK(type.valid());
+    Envelope env;
+    env.source = rank_;
+    env.tag = tag;
+    env.context = context;
+
+    const std::uint64_t total = static_cast<std::uint64_t>(type.size()) * count;
+    if (total > 0) {
+        const auto& flat = type.flat();
+        const bool fully_dense =
+            flat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
+        if (fully_dense) {
+            // Contiguous fast path: one copy onto the wire, all Comm time.
+            PhaseScope scope(timers_, Phase::Comm);
+            env.payload.resize(static_cast<std::size_t>(total));
+            std::memcpy(env.payload.data(), buf, env.payload.size());
+        } else {
+            // Noncontiguous: pipelined chunks through the configured engine.
+            env.payload.resize(static_cast<std::size_t>(total));
+            auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
+            std::size_t off = 0;
+            dt::ChunkView chunk;
+            while (engine->next_chunk(chunk)) {
+                // Moving the chunk onto the wire is Comm time; the engine
+                // internally charged its Pack/Search time.
+                PhaseScope scope(timers_, Phase::Comm);
+                if (chunk.dense) {
+                    for (const auto& [ptr, len] : chunk.iov) {
+                        std::memcpy(env.payload.data() + off, ptr, len);
+                        off += len;
+                    }
+                } else {
+                    std::memcpy(env.payload.data() + off, chunk.packed.data(),
+                                chunk.packed.size());
+                    off += chunk.packed.size();
+                }
+            }
+            NNCOMM_CHECK(off == env.payload.size());
+            timers_ += engine->timers();
+            counters_ += engine->counters();
+        }
+    }
+
+    PhaseScope scope(timers_, Phase::Comm);
+    detail::deliver(*world_, dest, std::move(env));
+}
+
+void Comm::send(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                int tag) {
+    send_ctx(buf, count, type, dest, tag, context_);
+}
+
+Request Comm::isend(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                    int tag) {
+    // Buffered-eager: the payload is packed and delivered immediately, so
+    // the request is born complete. Packing order across isends is the call
+    // order — which is exactly what the binned Alltoallw exploits.
+    send(buf, count, type, dest, tag);
+    auto req = std::make_shared<RequestState>();
+    req->kind = RequestState::Kind::Send;
+    req->complete = true;
+    return Request(std::move(req));
+}
+
+RecvStatus Comm::wait(Request& request) {
+    NNCOMM_CHECK_MSG(request.valid(), "wait on null request");
+    RequestState& req = *request.state_;
+    if (req.complete) return req.status;
+    NNCOMM_CHECK(req.kind == RequestState::Kind::Recv);
+
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
+    {
+        std::unique_lock<std::mutex> lk(box.mu);
+        box.cv.wait(lk, [&] {
+            return req.matched || world_->aborted.load(std::memory_order_acquire);
+        });
+        if (!req.matched) throw Error("runtime aborted while waiting for a message");
+    }
+
+    // Unpack outside the lock; only this rank's thread touches req now.
+    const std::size_t capacity = req.type.size() * req.count;
+    NNCOMM_CHECK_MSG(req.env.payload.size() <= capacity, "message longer than receive buffer");
+    if (!req.env.payload.empty()) {
+        const auto& flat = req.type.flat();
+        if (flat.contiguous() && static_cast<std::ptrdiff_t>(req.type.size()) == req.type.extent()) {
+            PhaseScope scope(timers_, Phase::Comm);
+            std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
+        } else {
+            PhaseScope scope(timers_, Phase::Pack);
+            dt::TypeCursor cur(&flat, req.count);
+            const std::size_t n = dt::unpack_bytes(
+                static_cast<std::byte*>(req.buf), cur,
+                std::span<const std::byte>(req.env.payload.data(), req.env.payload.size()));
+            NNCOMM_CHECK(n == req.env.payload.size());
+        }
+    }
+    req.status.source = req.env.source;
+    req.status.tag = req.env.tag;
+    req.status.bytes = req.env.payload.size();
+    req.env.payload.clear();
+    req.env.payload.shrink_to_fit();
+    req.complete = true;
+    return req.status;
+}
+
+void Comm::waitall(std::span<Request> reqs) {
+    for (Request& r : reqs) {
+        if (r.valid()) wait(r);
+    }
+}
+
+RecvStatus Comm::recv(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                      int tag) {
+    Request r = irecv(buf, count, type, source, tag);
+    return wait(r);
+}
+
+RecvStatus Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
+                          const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
+                          std::size_t recvcount, const dt::Datatype& recvtype, int source,
+                          int recvtag) {
+    Request r = irecv(recvbuf, recvcount, recvtype, source, recvtag);
+    send(sendbuf, sendcount, sendtype, dest, sendtag);
+    return wait(r);
+}
+
+void Comm::send_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                  int tag) {
+    send_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset);
+}
+
+RecvStatus Comm::recv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                        int tag) {
+    Request r = irecv_i(buf, count, type, source, tag);
+    return wait(r);
+}
+
+Request Comm::isend_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                      int tag) {
+    send_i(buf, count, type, dest, tag);
+    auto req = std::make_shared<RequestState>();
+    req->kind = RequestState::Kind::Send;
+    req->complete = true;
+    return Request(std::move(req));
+}
+
+Request Comm::irecv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                      int tag) {
+    return irecv_ctx(buf, count, type, source, tag, context_ + detail::kInternalContextOffset);
+}
+
+RecvStatus Comm::sendrecv_i(const void* sendbuf, std::size_t sendcount,
+                            const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
+                            std::size_t recvcount, const dt::Datatype& recvtype, int source,
+                            int recvtag) {
+    Request r = irecv_i(recvbuf, recvcount, recvtype, source, recvtag);
+    send_i(sendbuf, sendcount, sendtype, dest, sendtag);
+    return wait(r);
+}
+
+namespace {
+ProbeStatus scan_unexpected(Mailbox& box, int source, int tag, int context) {
+    // Caller holds box.mu.
+    detail::RequestState pattern;
+    pattern.source = source;
+    pattern.tag = tag;
+    pattern.context = context;
+    for (const Envelope& env : box.unexpected) {
+        if (detail::matches(pattern, env)) {
+            return ProbeStatus{true, env.source, env.tag, env.payload.size()};
+        }
+    }
+    return ProbeStatus{};
+}
+}  // namespace
+
+ProbeStatus Comm::probe(int source, int tag) {
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    std::unique_lock<std::mutex> lk(box.mu);
+    for (;;) {
+        ProbeStatus st = scan_unexpected(box, source, tag, context_);
+        if (st.found) return st;
+        box.cv.wait(lk, [&] {
+            return world_->aborted.load(std::memory_order_acquire) ||
+                   scan_unexpected(box, source, tag, context_).found;
+        });
+        if (world_->aborted.load(std::memory_order_acquire)) {
+            throw Error("runtime aborted while probing");
+        }
+    }
+}
+
+ProbeStatus Comm::iprobe(int source, int tag) {
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard<std::mutex> lk(box.mu);
+    return scan_unexpected(box, source, tag, context_);
+}
+
+Comm Comm::dup() {
+    // Deterministic tree numbering: all ranks perform the same sequence of
+    // dups, so (parent context, per-parent dup ordinal) is globally
+    // consistent. Contexts live below kInternalContextOffset.
+    ++dup_count_;
+    NNCOMM_CHECK_MSG(dup_count_ < 64, "too many duplicates of one communicator");
+    const int child = context_ * 64 + dup_count_;
+    NNCOMM_CHECK_MSG(child < (1 << 24), "communicator dup tree too deep");
+    Comm c(world_, rank_, child);
+    c.engine_kind_ = engine_kind_;
+    c.engine_config_ = engine_config_;
+    return c;
+}
+
+void Comm::barrier() {
+    // Dissemination barrier: ceil(log2 N) rounds of zero-byte exchanges on
+    // the internal context.
+    const int n = size();
+    const int ctx = context_ + detail::kInternalContextOffset;
+    for (int k = 1; k < n; k <<= 1) {
+        const int to = (rank_ + k) % n;
+        const int from = (rank_ - k % n + n) % n;
+        Request r = irecv_ctx(nullptr, 0, dt::Datatype::byte(), from, kInternalTagBase, ctx);
+        send_ctx(nullptr, 0, dt::Datatype::byte(), to, kInternalTagBase, ctx);
+        wait(r);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// World
+
+World::World(int nranks) : nranks_(nranks), state_(std::make_unique<WorldState>()) {
+    NNCOMM_CHECK_MSG(nranks >= 1, "World needs at least one rank");
+    state_->nranks = nranks;
+    state_->boxes.reserve(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) state_->boxes.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& fn) {
+    // Reset abort state and clear any residue from a previous run.
+    state_->aborted.store(false);
+    for (auto& b : state_->boxes) {
+        std::lock_guard<std::mutex> lk(b->mu);
+        b->unexpected.clear();
+        b->posted.clear();
+    }
+
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks_));
+    for (int r = 0; r < nranks_; ++r) {
+        threads.emplace_back([this, r, &fn, &err_mu, &first_error] {
+            Comm comm(state_.get(), r, /*context=*/0);
+            try {
+                fn(comm);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lk(err_mu);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                state_->abort_all();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nncomm::rt

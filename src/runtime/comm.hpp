@@ -1,0 +1,191 @@
+// Threaded in-process message-passing runtime with MPI semantics.
+//
+// A World owns N ranks; World::run(fn) executes fn(Comm&) on one thread per
+// rank. Comm provides MPI-style point-to-point operations — blocking and
+// nonblocking sends/receives with (source, tag, communicator-context)
+// matching, wildcards, FIFO ordering per sender, and derived-datatype
+// buffers on both sides.
+//
+// The send path is where the paper's datatype engines plug in: every
+// noncontiguous send is driven through a pipelined PackEngine
+// (SingleContext = the MPICH2 baseline with the quadratic re-search,
+// DualContext = the paper's §4.1 design), selected per-Comm via
+// set_engine(). Phase timers accumulate Comm / Pack / Search time exactly
+// as Figure 13 reports them.
+//
+// This runtime is the substrate standing in for MVAPICH2 on the paper's
+// InfiniBand cluster: all algorithmic behaviour (matching, ordering,
+// packing, zero-byte synchronization) is real; only the wire is a
+// process-local queue.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/counters.hpp"
+#include "datatype/engine.hpp"
+
+namespace nncomm::rt {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// Tags >= kInternalTagBase are reserved for collective implementations.
+inline constexpr int kInternalTagBase = 1 << 24;
+
+struct RecvStatus {
+    int source = -1;
+    int tag = -1;
+    std::size_t bytes = 0;  ///< payload bytes received
+};
+
+/// Result of a probe: like RecvStatus but for a message still in the queue.
+struct ProbeStatus {
+    bool found = false;  ///< always true for blocking probe
+    int source = -1;
+    int tag = -1;
+    std::size_t bytes = 0;
+};
+
+namespace detail {
+struct WorldState;
+struct RequestState;
+}  // namespace detail
+
+/// Handle to a pending nonblocking operation. Value-semantic; copy shares
+/// the underlying operation.
+class Request {
+public:
+    Request() = default;
+    bool valid() const { return state_ != nullptr; }
+
+private:
+    friend class Comm;
+    explicit Request(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+    std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Per-rank communicator handle. Not thread-safe; each rank thread owns one.
+class Comm {
+public:
+    int rank() const { return rank_; }
+    int size() const;
+
+    // -- configuration -------------------------------------------------------
+    /// Selects the datatype pack engine used by this rank's sends.
+    void set_engine(dt::EngineKind kind) { engine_kind_ = kind; }
+    dt::EngineKind engine_kind() const { return engine_kind_; }
+    void set_engine_config(const dt::EngineConfig& cfg) { engine_config_ = cfg; }
+    const dt::EngineConfig& engine_config() const { return engine_config_; }
+
+    // -- blocking point-to-point ---------------------------------------------
+    void send(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag);
+    RecvStatus recv(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                    int tag);
+    /// Combined send+recv (deadlock-free regardless of peer order).
+    RecvStatus sendrecv(const void* sendbuf, std::size_t sendcount, const dt::Datatype& sendtype,
+                        int dest, int sendtag, void* recvbuf, std::size_t recvcount,
+                        const dt::Datatype& recvtype, int source, int recvtag);
+
+    // -- nonblocking ----------------------------------------------------------
+    Request isend(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                  int tag);
+    Request irecv(void* buf, std::size_t count, const dt::Datatype& type, int source, int tag);
+    RecvStatus wait(Request& req);
+    void waitall(std::span<Request> reqs);
+
+    /// Dissemination barrier over all ranks of this communicator.
+    void barrier();
+
+    /// Blocks until a message matching (source, tag) is queued without a
+    /// posted receive, and reports it without consuming it (MPI_Probe).
+    /// Wildcards allowed.
+    ProbeStatus probe(int source, int tag);
+    /// Nonblocking variant (MPI_Iprobe): found == false when nothing
+    /// matches right now.
+    ProbeStatus iprobe(int source, int tag);
+
+    /// Duplicates the communicator into a new matching context
+    /// (MPI_Comm_dup): messages on the duplicate can never match receives
+    /// on the parent. Collective in the MPI sense — every rank must
+    /// perform the same sequence of dup calls. Statistics start fresh;
+    /// engine configuration is inherited.
+    Comm dup();
+
+    // -- internal-context point-to-point ---------------------------------------
+    // Used by collective implementations (src/coll). Identical semantics to
+    // the public operations but matched on a shifted context, so collective
+    // traffic can never be stolen by user-posted wildcard receives.
+    void send_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag);
+    RecvStatus recv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                      int tag);
+    Request isend_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                    int tag);
+    Request irecv_i(void* buf, std::size_t count, const dt::Datatype& type, int source, int tag);
+    RecvStatus sendrecv_i(const void* sendbuf, std::size_t sendcount,
+                          const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
+                          std::size_t recvcount, const dt::Datatype& recvtype, int source,
+                          int recvtag);
+
+    // -- convenience typed sends (contiguous arrays) --------------------------
+    template <typename T>
+    void send_n(const T* buf, std::size_t n, int dest, int tag) {
+        send(buf, n * sizeof(T), dt::Datatype::byte(), dest, tag);
+    }
+    template <typename T>
+    RecvStatus recv_n(T* buf, std::size_t n, int source, int tag) {
+        return recv(buf, n * sizeof(T), dt::Datatype::byte(), source, tag);
+    }
+
+    // -- instrumentation -------------------------------------------------------
+    const PhaseTimers& timers() const { return timers_; }
+    PhaseTimers& timers() { return timers_; }
+    const StatCounters& counters() const { return counters_; }
+    void reset_stats() {
+        timers_.reset();
+        counters_.reset();
+    }
+
+private:
+    friend class World;
+    Comm(detail::WorldState* world, int rank, int context)
+        : world_(world), rank_(rank), context_(context) {}
+
+    Request irecv_ctx(void* buf, std::size_t count, const dt::Datatype& type, int source,
+                      int tag, int context);
+    void send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                  int tag, int context);
+
+    detail::WorldState* world_ = nullptr;
+    int rank_ = -1;
+    int context_ = 0;
+    int dup_count_ = 0;  ///< children created from this communicator
+    dt::EngineKind engine_kind_ = dt::EngineKind::DualContext;
+    dt::EngineConfig engine_config_{};
+    PhaseTimers timers_;
+    StatCounters counters_;
+};
+
+/// A set of ranks executed as threads.
+class World {
+public:
+    explicit World(int nranks);
+    ~World();
+
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    int size() const { return nranks_; }
+
+    /// Runs fn(Comm&) on every rank concurrently and joins. If any rank
+    /// throws, all blocked operations are aborted and the first exception
+    /// is rethrown here.
+    void run(const std::function<void(Comm&)>& fn);
+
+private:
+    int nranks_;
+    std::unique_ptr<detail::WorldState> state_;
+};
+
+}  // namespace nncomm::rt

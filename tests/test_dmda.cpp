@@ -1,0 +1,309 @@
+// Tests for DMDA: process-grid factorization, ownership boxes, indexing,
+// and ghost exchange (star/box stencils, 1/2/3-D, multiple dof, domain
+// boundaries, all collective algorithms).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "petsckit/dmda.hpp"
+
+namespace {
+
+using namespace nncomm;
+using pk::DMDA;
+using pk::GridBox;
+using pk::GridSize;
+using pk::Index;
+using pk::Stencil;
+using pk::Vec;
+using rt::Comm;
+using rt::World;
+
+TEST(FactorGrid, BasicShapes) {
+    // 3-D cube: prefer a balanced factorization.
+    auto g = DMDA::factor_grid(8, 3, GridSize{32, 32, 32});
+    EXPECT_EQ(g[0] * g[1] * g[2], 8);
+    EXPECT_EQ(g[0], 2);
+    EXPECT_EQ(g[1], 2);
+    EXPECT_EQ(g[2], 2);
+    // 2-D: pz forced to 1.
+    g = DMDA::factor_grid(6, 2, GridSize{30, 30, 1});
+    EXPECT_EQ(g[2], 1);
+    EXPECT_EQ(g[0] * g[1], 6);
+    // 1-D: only px.
+    g = DMDA::factor_grid(5, 1, GridSize{100, 1, 1});
+    EXPECT_EQ(g[0], 5);
+    EXPECT_EQ(g[1], 1);
+    EXPECT_EQ(g[2], 1);
+}
+
+TEST(FactorGrid, RespectsAxisExtents) {
+    // 16 ranks on a 4 x 100 grid: px can be at most 4.
+    auto g = DMDA::factor_grid(16, 2, GridSize{4, 100, 1});
+    EXPECT_LE(g[0], 4);
+    EXPECT_EQ(g[0] * g[1], 16);
+    // Impossible: more ranks than grid points.
+    EXPECT_THROW(DMDA::factor_grid(7, 1, GridSize{3, 1, 1}), nncomm::Error);
+}
+
+TEST(FactorGrid, ElongatedGridSplitsAlongLongAxis) {
+    auto g = DMDA::factor_grid(4, 3, GridSize{1000, 4, 4});
+    EXPECT_EQ(g[0], 4);  // splitting x minimizes surface
+}
+
+TEST(Dmda, OwnedBoxesTileTheGrid) {
+    World w(6);
+    w.run([](Comm& c) {
+        DMDA da(c, 2, GridSize{13, 7, 1}, 1, 1, Stencil::Star);
+        // Sum of all owned volumes equals the grid volume; boxes disjoint.
+        Index total = 0;
+        std::vector<bool> covered(13 * 7, false);
+        for (int r = 0; r < c.size(); ++r) {
+            const GridBox b = da.owned_box_of(r);
+            total += b.volume();
+            for (Index j = b.ys; j < b.ys + b.ym; ++j) {
+                for (Index i = b.xs; i < b.xs + b.xm; ++i) {
+                    const auto at = static_cast<std::size_t>(j * 13 + i);
+                    EXPECT_FALSE(covered[at]);
+                    covered[at] = true;
+                }
+            }
+        }
+        EXPECT_EQ(total, 13 * 7);
+        EXPECT_EQ(da.owned_box_of(c.rank()).xs, da.owned().xs);
+    });
+}
+
+TEST(Dmda, GlobalIndexBijective) {
+    World w(4);
+    w.run([](Comm& c) {
+        DMDA da(c, 3, GridSize{5, 4, 3}, 2, 1, Stencil::Star);
+        std::vector<bool> seen(5 * 4 * 3 * 2, false);
+        for (Index k = 0; k < 3; ++k) {
+            for (Index j = 0; j < 4; ++j) {
+                for (Index i = 0; i < 5; ++i) {
+                    for (int comp = 0; comp < 2; ++comp) {
+                        const Index g = da.global_index(i, j, k, comp);
+                        ASSERT_GE(g, 0);
+                        ASSERT_LT(g, 5 * 4 * 3 * 2);
+                        EXPECT_FALSE(seen[static_cast<std::size_t>(g)]);
+                        seen[static_cast<std::size_t>(g)] = true;
+                    }
+                }
+            }
+        }
+    });
+}
+
+TEST(Dmda, GlobalIndexMatchesVecOwnership) {
+    World w(4);
+    w.run([](Comm& c) {
+        DMDA da(c, 2, GridSize{8, 8, 1}, 1, 1, Stencil::Star);
+        Vec v = da.create_global();
+        const GridBox& o = da.owned();
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i) {
+                const Index g = da.global_index(i, j, 0);
+                EXPECT_TRUE(v.range().contains(g));
+            }
+        }
+    });
+}
+
+// Fills a DMDA global vector with a recognizable function of the grid
+// coordinates.
+double coord_value(Index i, Index j, Index k, int comp) {
+    return 1e6 * static_cast<double>(k) + 1e3 * static_cast<double>(j) +
+           static_cast<double>(i) + 0.1 * comp;
+}
+
+void fill_dmda_vec(const DMDA& da, Vec& v) {
+    const GridBox& o = da.owned();
+    std::size_t at = 0;
+    for (Index k = o.zs; k < o.zs + o.zm; ++k) {
+        for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+            for (Index i = o.xs; i < o.xs + o.xm; ++i) {
+                for (int comp = 0; comp < da.dof(); ++comp, ++at) {
+                    v.data()[at] = coord_value(i, j, k, comp);
+                }
+            }
+        }
+    }
+}
+
+struct GhostCase {
+    int nranks;
+    int dim;
+    GridSize size;
+    int dof;
+    int sw;
+    Stencil stencil;
+};
+
+class DmdaGhost : public ::testing::TestWithParam<int> {};
+
+const GhostCase kGhostCases[] = {
+    {1, 1, {16, 1, 1}, 1, 1, Stencil::Star},
+    {4, 1, {17, 1, 1}, 1, 1, Stencil::Star},
+    {4, 1, {20, 1, 1}, 2, 2, Stencil::Star},
+    {4, 2, {9, 9, 1}, 1, 1, Stencil::Star},
+    {4, 2, {9, 9, 1}, 1, 1, Stencil::Box},
+    {6, 2, {12, 10, 1}, 1, 2, Stencil::Box},
+    {6, 2, {12, 10, 1}, 3, 1, Stencil::Star},
+    {8, 3, {8, 8, 8}, 1, 1, Stencil::Star},
+    {8, 3, {8, 8, 8}, 1, 1, Stencil::Box},
+    {8, 3, {9, 7, 6}, 2, 1, Stencil::Box},
+    {12, 3, {10, 9, 8}, 1, 1, Stencil::Star},
+};
+
+TEST_P(DmdaGhost, GlobalToLocalFillsGhosts) {
+    const GhostCase& tc = kGhostCases[GetParam()];
+    World w(tc.nranks);
+    w.run([&](Comm& c) {
+        DMDA da(c, tc.dim, tc.size, tc.dof, tc.sw, tc.stencil);
+        Vec v = da.create_global();
+        fill_dmda_vec(da, v);
+        auto local = da.create_local();
+        da.global_to_local(v, local);
+
+        const GridBox& gb = da.ghosted();
+        const GridBox& o = da.owned();
+        for (Index k = gb.zs; k < gb.zs + gb.zm; ++k) {
+            for (Index j = gb.ys; j < gb.ys + gb.ym; ++j) {
+                for (Index i = gb.xs; i < gb.xs + gb.xm; ++i) {
+                    // Star stencils do not fill corner/edge ghosts: a ghost
+                    // point must differ from the owned box in at most one
+                    // axis to be filled.
+                    int out_axes = 0;
+                    if (i < o.xs || i >= o.xs + o.xm) ++out_axes;
+                    if (j < o.ys || j >= o.ys + o.ym) ++out_axes;
+                    if (k < o.zs || k >= o.zs + o.zm) ++out_axes;
+                    if (tc.stencil == Stencil::Star && out_axes > 1) continue;
+                    for (int comp = 0; comp < tc.dof; ++comp) {
+                        EXPECT_DOUBLE_EQ(
+                            local[static_cast<std::size_t>(da.local_index(i, j, k, comp))],
+                            coord_value(i, j, k, comp))
+                            << "point (" << i << "," << j << "," << k << ") comp " << comp;
+                    }
+                }
+            }
+        }
+    });
+}
+
+TEST_P(DmdaGhost, LocalToGlobalRoundTrip) {
+    const GhostCase& tc = kGhostCases[GetParam()];
+    World w(tc.nranks);
+    w.run([&](Comm& c) {
+        DMDA da(c, tc.dim, tc.size, tc.dof, tc.sw, tc.stencil);
+        Vec v = da.create_global();
+        fill_dmda_vec(da, v);
+        auto local = da.create_local();
+        da.global_to_local(v, local);
+        Vec back = da.create_global();
+        da.local_to_global(local, back);
+        for (Index g = 0; g < back.local_size(); ++g) {
+            EXPECT_DOUBLE_EQ(back.data()[g], v.data()[g]);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DmdaGhost,
+                         ::testing::Range(0, static_cast<int>(std::size(kGhostCases))));
+
+TEST(Dmda, GhostExchangeWorksWithAllCollectiveAlgos) {
+    World w(4);
+    w.run([](Comm& c) {
+        DMDA da(c, 2, GridSize{10, 10, 1}, 1, 1, Stencil::Box);
+        Vec v = da.create_global();
+        fill_dmda_vec(da, v);
+        for (auto algo : {coll::AlltoallwAlgo::RoundRobin, coll::AlltoallwAlgo::Binned}) {
+            auto local = da.create_local();
+            coll::CollConfig cfg;
+            cfg.alltoallw_algo = algo;
+            da.global_to_local(v, local, cfg);
+            const GridBox& o = da.owned();
+            // Spot-check the whole owned region plus one ghost row.
+            for (Index j = o.ys; j < o.ys + o.ym; ++j) {
+                for (Index i = o.xs; i < o.xs + o.xm; ++i) {
+                    EXPECT_DOUBLE_EQ(local[static_cast<std::size_t>(da.local_index(i, j, 0))],
+                                     coord_value(i, j, 0, 0));
+                }
+            }
+        }
+    });
+}
+
+TEST(Dmda, NeighborVolumesAreNonuniformForBoxStencil) {
+    // The paper's §2.1 observation: with a box stencil, face neighbors get
+    // much more data than corner neighbors.
+    World w(4);
+    w.run([](Comm& c) {
+        DMDA da(c, 2, GridSize{16, 16, 1}, 1, 1, Stencil::Box);
+        // 2x2 process grid: every rank has 2 face neighbors and 1 corner.
+        const auto& nbs = da.neighbors();
+        ASSERT_EQ(nbs.size(), 3u);
+        std::uint64_t face_bytes = 0, corner_bytes = 0;
+        for (const auto& nb : nbs) {
+            const int nz = (nb.dx != 0) + (nb.dy != 0);
+            if (nz == 1) face_bytes = nb.send_bytes;
+            else corner_bytes = nb.send_bytes;
+        }
+        EXPECT_EQ(face_bytes, 8u * 8u);  // 8 points x 8 bytes
+        EXPECT_EQ(corner_bytes, 8u);     // 1 point
+        EXPECT_GT(face_bytes, corner_bytes * 4);
+    });
+}
+
+TEST(Dmda, StarStencilHasOnlyFaceNeighbors) {
+    World w(8);
+    w.run([](Comm& c) {
+        DMDA da(c, 3, GridSize{8, 8, 8}, 1, 1, Stencil::Star);
+        for (const auto& nb : da.neighbors()) {
+            EXPECT_EQ((nb.dx != 0) + (nb.dy != 0) + (nb.dz != 0), 1);
+        }
+        // Interior rank of a 2x2x2 grid: every rank has exactly 3 face
+        // neighbors (one per axis).
+        EXPECT_EQ(da.neighbors().size(), 3u);
+    });
+}
+
+TEST(Dmda, SendSlabIsNoncontiguousForYFaces) {
+    // A y-face slab of a 2-D grid is strided in memory: one block per x-row
+    // would be contiguous, but a x-face (column) slab has one block per y.
+    World w(4);
+    w.run([](Comm& c) {
+        DMDA da(c, 2, GridSize{16, 16, 1}, 1, 1, Stencil::Star);
+        for (const auto& nb : da.neighbors()) {
+            if (nb.dx != 0) {
+                // Column slab: sw columns over ym rows -> ym blocks.
+                EXPECT_EQ(nb.send_blocks, static_cast<std::uint64_t>(da.owned().ym));
+            } else {
+                // Row slab: contiguous rows merge into one block per row,
+                // and full-width rows merge entirely.
+                EXPECT_LE(nb.send_blocks, static_cast<std::uint64_t>(da.owned().xm));
+            }
+        }
+    });
+}
+
+TEST(Dmda, StencilWidthLargerThanLocalExtentRejected) {
+    World w(4);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     // 4 ranks on 4 points in x: local xm = 1 < sw = 2.
+                     DMDA da(c, 1, GridSize{4, 1, 1}, 1, 2, Stencil::Star);
+                 }),
+                 nncomm::Error);
+}
+
+TEST(Dmda, InvalidArgumentsRejected) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) { DMDA da(c, 4, GridSize{4, 4, 4}, 1, 1, Stencil::Star); }),
+                 nncomm::Error);
+    EXPECT_THROW(w.run([](Comm& c) { DMDA da(c, 2, GridSize{4, 4, 1}, 0, 1, Stencil::Star); }),
+                 nncomm::Error);
+    EXPECT_THROW(w.run([](Comm& c) { DMDA da(c, 1, GridSize{4, 2, 1}, 1, 1, Stencil::Star); }),
+                 nncomm::Error);
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Tests for the pipelined pack engines: byte-exact equivalence with the
+// reference packer, the baseline's quadratic re-search behaviour, and the
+// dual-context engine's elimination of search.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "datatype/engine.hpp"
+#include "datatype/pack.hpp"
+
+namespace {
+
+using nncomm::dt::ChunkView;
+using nncomm::dt::Datatype;
+using nncomm::dt::DualContextEngine;
+using nncomm::dt::EngineConfig;
+using nncomm::dt::EngineKind;
+using nncomm::dt::make_engine;
+using nncomm::dt::PackEngine;
+using nncomm::dt::SingleContextEngine;
+
+// Column-major traversal of an n x n matrix of 3-double elements (the
+// paper's transpose sender type): n*n sparse 24-byte blocks.
+Datatype transpose_type(std::size_t n) {
+    auto elem = Datatype::contiguous(3, Datatype::float64());
+    auto col = Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), elem);
+    auto col_resized = Datatype::resized(col, 0, elem.extent());
+    return Datatype::contiguous(n, col_resized);
+}
+
+std::vector<double> matrix_data(std::size_t n) {
+    std::vector<double> m(n * n * 3);
+    std::iota(m.begin(), m.end(), 0.0);
+    return m;
+}
+
+// Drains an engine, reassembling every chunk (packed or iov) into a single
+// contiguous stream.
+std::vector<std::byte> drain(PackEngine& e) {
+    std::vector<std::byte> out;
+    out.reserve(e.total_bytes());
+    ChunkView chunk;
+    while (e.next_chunk(chunk)) {
+        if (chunk.dense) {
+            for (const auto& [ptr, len] : chunk.iov) {
+                const auto* b = ptr;
+                out.insert(out.end(), b, b + len);
+            }
+        } else {
+            out.insert(out.end(), chunk.packed.begin(), chunk.packed.end());
+        }
+    }
+    return out;
+}
+
+TEST(Engines, BothMatchReferenceOnTransposeType) {
+    const std::size_t n = 32;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);
+    auto ref = nncomm::dt::pack_all(m.data(), t, 1);
+
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 512;
+    SingleContextEngine single(m.data(), t, 1, cfg);
+    DualContextEngine dual(m.data(), t, 1, cfg);
+    EXPECT_EQ(drain(single), ref);
+    EXPECT_EQ(drain(dual), ref);
+}
+
+TEST(Engines, ContiguousTypeGoesDense) {
+    std::vector<double> data(4096);
+    std::iota(data.begin(), data.end(), 0.0);
+    auto t = Datatype::contiguous(4096, Datatype::float64());
+
+    for (EngineKind kind : {EngineKind::SingleContext, EngineKind::DualContext}) {
+        auto e = make_engine(kind, data.data(), t, 1);
+        auto out = drain(*e);
+        EXPECT_EQ(out.size(), 4096u * 8u);
+        EXPECT_EQ(std::memcmp(out.data(), data.data(), out.size()), 0);
+        EXPECT_GT(e->counters().dense_chunks, 0u) << engine_kind_name(kind);
+        EXPECT_EQ(e->counters().sparse_chunks, 0u) << engine_kind_name(kind);
+        EXPECT_EQ(e->counters().bytes_packed, 0u) << "dense path must not pack";
+    }
+}
+
+TEST(Engines, SparseTypeGoesSparse) {
+    const std::size_t n = 64;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);  // 24-byte blocks, below the 256-byte threshold
+    for (EngineKind kind : {EngineKind::SingleContext, EngineKind::DualContext}) {
+        auto e = make_engine(kind, m.data(), t, 1);
+        drain(*e);
+        EXPECT_EQ(e->counters().dense_chunks, 0u);
+        EXPECT_GT(e->counters().sparse_chunks, 0u);
+        EXPECT_EQ(e->counters().bytes_packed, e->total_bytes());
+    }
+}
+
+TEST(Engines, DensityThresholdFlipsDecision) {
+    const std::size_t n = 16;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);
+    EngineConfig cfg;
+    cfg.density_threshold = 8.0;  // 24-byte blocks now count as dense
+    auto e = make_engine(EngineKind::DualContext, m.data(), t, 1, cfg);
+    auto ref = nncomm::dt::pack_all(m.data(), t, 1);
+    EXPECT_EQ(drain(*e), ref);
+    EXPECT_GT(e->counters().dense_chunks, 0u);
+    EXPECT_EQ(e->counters().sparse_chunks, 0u);
+}
+
+TEST(Engines, BaselineSearchesOnEverySparseChunk) {
+    const std::size_t n = 64;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 1024;
+    SingleContextEngine e(m.data(), t, 1, cfg);
+    drain(e);
+    EXPECT_EQ(e.counters().search_events, e.counters().sparse_chunks);
+    EXPECT_GT(e.counters().search_blocks_visited, 0u);
+}
+
+TEST(Engines, DualContextNeverSearches) {
+    const std::size_t n = 64;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 1024;
+    DualContextEngine e(m.data(), t, 1, cfg);
+    drain(e);
+    EXPECT_EQ(e.counters().search_events, 0u);
+    EXPECT_EQ(e.counters().search_blocks_visited, 0u);
+    EXPECT_EQ(e.timers().ns(nncomm::Phase::Search), 0u);
+}
+
+TEST(Engines, BaselineSearchCostGrowsQuadratically) {
+    // Total blocks visited by re-searches: sum over chunks of (position /
+    // block_size) ~ quadratic in matrix size. Doubling n quadruples the
+    // data and the per-chunk positions, so the count grows ~16x; even a
+    // conservative check of > 4x growth distinguishes it from linear.
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 2048;
+    std::uint64_t prev = 0;
+    for (std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+        auto m = matrix_data(n);
+        auto t = transpose_type(n);
+        SingleContextEngine e(m.data(), t, 1, cfg);
+        drain(e);
+        const std::uint64_t visited = e.counters().search_blocks_visited;
+        if (prev > 0) {
+            EXPECT_GT(visited, prev * 8) << "n=" << n;  // quadratic => ~16x
+        }
+        prev = visited;
+    }
+}
+
+TEST(Engines, DualContextLookaheadIsLinear) {
+    // Look-ahead work grows linearly with the data (bounded per chunk by
+    // the window), never faster.
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 2048;
+    std::uint64_t prev = 0;
+    for (std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
+        auto m = matrix_data(n);
+        auto t = transpose_type(n);
+        DualContextEngine e(m.data(), t, 1, cfg);
+        drain(e);
+        const std::uint64_t la = e.counters().lookahead_blocks;
+        if (prev > 0) {
+            EXPECT_LT(la, prev * 6) << "n=" << n;  // 4x data => ~4x look-ahead
+        }
+        prev = la;
+    }
+}
+
+TEST(Engines, LookaheadWindowBoundsDualContextWork) {
+    const std::size_t n = 32;
+    auto m = matrix_data(n);
+    auto t = transpose_type(n);
+    EngineConfig cfg;
+    cfg.lookahead_blocks = 15;
+    DualContextEngine e(m.data(), t, 1, cfg);
+    ChunkView chunk;
+    std::uint64_t events = 0;
+    while (e.next_chunk(chunk)) ++events;
+    EXPECT_LE(e.counters().lookahead_blocks, events * cfg.lookahead_blocks);
+}
+
+TEST(Engines, CountGreaterThanOne) {
+    const std::size_t n = 8;
+    auto elem = Datatype::contiguous(3, Datatype::float64());
+    auto col = Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), elem);
+    std::vector<double> m(n * n * 3 * 4);
+    std::iota(m.begin(), m.end(), 0.0);
+
+    auto ref = nncomm::dt::pack_all(m.data(), col, 3);
+    for (EngineKind kind : {EngineKind::SingleContext, EngineKind::DualContext}) {
+        auto e = make_engine(kind, m.data(), col, 3);
+        EXPECT_EQ(drain(*e), ref) << engine_kind_name(kind);
+    }
+}
+
+TEST(Engines, ZeroSizeTypeProducesNoChunks) {
+    auto t = Datatype::contiguous(0, Datatype::float64());
+    double dummy = 0;
+    for (EngineKind kind : {EngineKind::SingleContext, EngineKind::DualContext}) {
+        auto e = make_engine(kind, &dummy, t, 1);
+        ChunkView chunk;
+        EXPECT_FALSE(e->next_chunk(chunk));
+        EXPECT_TRUE(e->finished());
+    }
+}
+
+TEST(Engines, RejectsBadConfig) {
+    double dummy = 0;
+    auto t = Datatype::float64();
+    EngineConfig cfg;
+    cfg.pipeline_chunk = 0;
+    EXPECT_THROW(SingleContextEngine(&dummy, t, 1, cfg), nncomm::Error);
+    cfg = {};
+    cfg.lookahead_blocks = 0;
+    EXPECT_THROW(DualContextEngine(&dummy, t, 1, cfg), nncomm::Error);
+}
+
+// Property sweep: both engines are byte-exact against the reference packer
+// across chunk sizes, thresholds and type shapes.
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(EngineEquivalence, MatchesReference) {
+    const auto [chunk, threshold, shape] = GetParam();
+    nncomm::Rng rng(chunk * 1000 + shape);
+
+    Datatype t;
+    std::size_t count = 1;
+    switch (shape) {
+        case 0: t = transpose_type(16); break;
+        case 1: t = Datatype::contiguous(1000, Datatype::float64()); break;
+        case 2: {  // mixed dense/sparse: alternating big and small blocks
+            std::vector<std::size_t> lens{100, 1, 80, 2, 150, 1};
+            std::vector<std::ptrdiff_t> displs{0, 200, 300, 500, 600, 900};
+            t = Datatype::indexed(lens, displs, Datatype::float64());
+            count = 2;
+            break;
+        }
+        case 3: {  // 2-D subarray interior
+            std::array<std::size_t, 2> sizes{40, 40};
+            std::array<std::size_t, 2> sub{20, 8};
+            std::array<std::size_t, 2> starts{10, 16};
+            t = Datatype::subarray(sizes, sub, starts, Datatype::float64());
+            break;
+        }
+        default: t = Datatype::float64(); count = 77; break;
+    }
+
+    // Size the buffer by the true data bounds: resized types (shape 0) read
+    // far past one extent.
+    const std::size_t span = static_cast<std::size_t>(
+        t.extent() * static_cast<std::ptrdiff_t>(count - 1) + t.flat().data_ub() + 16);
+    std::vector<std::byte> buf(span);
+    for (auto& b : buf) b = static_cast<std::byte>(rng.uniform_u64(0, 255));
+
+    auto ref = nncomm::dt::pack_all(buf.data(), t, count);
+    EngineConfig cfg;
+    cfg.pipeline_chunk = chunk;
+    cfg.density_threshold = threshold;
+    for (EngineKind kind : {EngineKind::SingleContext, EngineKind::DualContext}) {
+        auto e = make_engine(kind, buf.data(), t, count, cfg);
+        EXPECT_EQ(drain(*e), ref)
+            << engine_kind_name(kind) << " chunk=" << chunk << " thr=" << threshold
+            << " shape=" << shape;
+        EXPECT_TRUE(e->finished());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineEquivalence,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 13, 256, 4096, 1 << 20),
+                       ::testing::Values(1.0, 256.0, 1e9),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Unit and property tests for the Floyd–Rivest k-select implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/kselect.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using nncomm::kselect;
+using nncomm::kselect_copy;
+using nncomm::Rng;
+
+TEST(KSelect, SingleElement) {
+    std::vector<int> v{42};
+    EXPECT_EQ(kselect(std::span<int>(v), 1), 42);
+}
+
+TEST(KSelect, TwoElements) {
+    std::vector<int> v{7, 3};
+    EXPECT_EQ(kselect(std::span<int>(v), 1), 3);
+    v = {7, 3};
+    EXPECT_EQ(kselect(std::span<int>(v), 2), 7);
+}
+
+TEST(KSelect, SortedInput) {
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    for (std::size_t k : {std::size_t{1}, std::size_t{50}, std::size_t{100}}) {
+        std::vector<int> copy = v;
+        EXPECT_EQ(kselect(std::span<int>(copy), k), static_cast<int>(k - 1));
+    }
+}
+
+TEST(KSelect, ReverseSortedInput) {
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    std::reverse(v.begin(), v.end());
+    std::vector<int> copy = v;
+    EXPECT_EQ(kselect(std::span<int>(copy), 25), 24);
+}
+
+TEST(KSelect, AllEqual) {
+    std::vector<int> v(1000, 5);
+    EXPECT_EQ(kselect(std::span<int>(v), 1), 5);
+    EXPECT_EQ(kselect(std::span<int>(v), 500), 5);
+    EXPECT_EQ(kselect(std::span<int>(v), 1000), 5);
+}
+
+TEST(KSelect, MinAndMaxOfLargeSet) {
+    Rng rng(123);
+    std::vector<std::uint64_t> v(10000);
+    for (auto& x : v) x = rng.uniform_u64(0, 1 << 30);
+    auto copy = v;
+    std::sort(copy.begin(), copy.end());
+    std::vector<std::uint64_t> w = v;
+    EXPECT_EQ(kselect(std::span<std::uint64_t>(w), 1), copy.front());
+    w = v;
+    EXPECT_EQ(kselect(std::span<std::uint64_t>(w), v.size()), copy.back());
+}
+
+TEST(KSelect, RejectsEmptyAndOutOfRange) {
+    std::vector<int> empty;
+    EXPECT_THROW(kselect(std::span<int>(empty), 1), nncomm::Error);
+    std::vector<int> v{1, 2, 3};
+    EXPECT_THROW(kselect(std::span<int>(v), 0), nncomm::Error);
+    EXPECT_THROW(kselect(std::span<int>(v), 4), nncomm::Error);
+}
+
+TEST(KSelect, NonDestructiveCopyOverload) {
+    const std::vector<int> v{9, 1, 8, 2, 7};
+    const std::vector<int> before = v;
+    EXPECT_EQ(kselect_copy(std::span<const int>(v), 3), 7);
+    EXPECT_EQ(v, before);
+}
+
+TEST(KSelect, PartitionsInPlaceLikeNthElement) {
+    // After kselect(v, k), everything left of position k-1 must be <= the
+    // selected value and everything right of it must be >=.
+    Rng rng(7);
+    std::vector<int> v(5000);
+    for (auto& x : v) x = static_cast<int>(rng.uniform_u64(0, 999));
+    const std::size_t k = 1234;
+    const int val = kselect(std::span<int>(v), k);
+    for (std::size_t i = 0; i + 1 < k; ++i) EXPECT_LE(v[i], val) << i;
+    for (std::size_t i = k; i < v.size(); ++i) EXPECT_GE(v[i], val) << i;
+}
+
+// Property sweep: kselect agrees with std::nth_element across sizes,
+// distributions and ranks.
+class KSelectProperty : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(KSelectProperty, MatchesNthElement) {
+    const auto [n, dist] = GetParam();
+    Rng rng(1000 * n + static_cast<std::size_t>(dist));
+    std::vector<std::uint64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        switch (dist) {
+            case 0: v[i] = rng.uniform_u64(0, 1 << 20); break;           // uniform
+            case 1: v[i] = rng.uniform_u64(0, 3); break;                 // heavy ties
+            case 2: v[i] = i; break;                                      // sorted
+            case 3: v[i] = n - i; break;                                  // reversed
+            case 4: v[i] = (i % 97 == 0) ? (1u << 30) : 8; break;         // outliers
+            default: v[i] = 0; break;
+        }
+    }
+    // Check several ranks, including extremes.
+    for (std::size_t k : {std::size_t{1}, n / 4 + 1, n / 2 + 1, n}) {
+        if (k > n) continue;
+        std::vector<std::uint64_t> a = v;
+        std::vector<std::uint64_t> b = v;
+        std::nth_element(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(k - 1), b.end());
+        EXPECT_EQ(kselect(std::span<std::uint64_t>(a), k), b[k - 1])
+            << "n=" << n << " dist=" << dist << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KSelectProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 10, 63, 64, 100, 601, 1000, 4096,
+                                                      20011),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+}  // namespace

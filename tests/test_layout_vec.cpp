@@ -1,0 +1,195 @@
+// Tests for ownership layouts, the distributed Vec, and index sets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "petsckit/is.hpp"
+#include "petsckit/vec.hpp"
+
+namespace {
+
+using namespace nncomm;
+using pk::Index;
+using pk::IndexSet;
+using pk::Layout;
+using pk::OwnershipRange;
+using pk::owner_of;
+using pk::split_ownership;
+using pk::Vec;
+using rt::Comm;
+using rt::World;
+
+TEST(SplitOwnership, EvenSplit) {
+    for (int r = 0; r < 4; ++r) {
+        auto o = split_ownership(100, r, 4);
+        EXPECT_EQ(o.count(), 25);
+        EXPECT_EQ(o.begin, 25 * r);
+    }
+}
+
+TEST(SplitOwnership, RemainderGoesToFirstRanks) {
+    // 10 over 3: 4, 3, 3.
+    EXPECT_EQ(split_ownership(10, 0, 3).count(), 4);
+    EXPECT_EQ(split_ownership(10, 1, 3).count(), 3);
+    EXPECT_EQ(split_ownership(10, 2, 3).count(), 3);
+    EXPECT_EQ(split_ownership(10, 1, 3).begin, 4);
+    EXPECT_EQ(split_ownership(10, 2, 3).begin, 7);
+}
+
+TEST(SplitOwnership, RangesTileTheWholeSpace) {
+    for (Index n : {0L, 1L, 7L, 64L, 1000L}) {
+        for (int size : {1, 2, 3, 7, 16}) {
+            Index expect_begin = 0;
+            for (int r = 0; r < size; ++r) {
+                auto o = split_ownership(n, r, size);
+                EXPECT_EQ(o.begin, expect_begin);
+                expect_begin = o.end;
+            }
+            EXPECT_EQ(expect_begin, n);
+        }
+    }
+}
+
+TEST(OwnerOf, AgreesWithRanges) {
+    for (Index n : {1L, 7L, 64L, 1001L}) {
+        for (int size : {1, 2, 3, 7, 16}) {
+            for (Index i = 0; i < n; ++i) {
+                const int o = owner_of(i, n, size);
+                EXPECT_TRUE(split_ownership(n, o, size).contains(i))
+                    << "n=" << n << " size=" << size << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(Layout, UniformMatchesSplitOwnership) {
+    auto l = Layout::uniform(10, 3);
+    EXPECT_EQ(l.size(), 3);
+    EXPECT_EQ(l.global(), 10);
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(l.range(r).begin, split_ownership(10, r, 3).begin);
+        EXPECT_EQ(l.range(r).end, split_ownership(10, r, 3).end);
+    }
+}
+
+TEST(Layout, FromCountsAndOwner) {
+    std::vector<Index> counts{3, 0, 5, 2};
+    auto l = Layout::from_counts(counts);
+    EXPECT_EQ(l.global(), 10);
+    EXPECT_EQ(l.owner(0), 0);
+    EXPECT_EQ(l.owner(2), 0);
+    EXPECT_EQ(l.owner(3), 2);  // rank 1 owns nothing
+    EXPECT_EQ(l.owner(7), 2);
+    EXPECT_EQ(l.owner(8), 3);
+    EXPECT_EQ(l.owner(9), 3);
+    EXPECT_THROW(l.owner(10), nncomm::Error);
+}
+
+TEST(IndexSetOps, StrideGeneralBlockIdentity) {
+    auto s = IndexSet::stride(10, 3, 4);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0], 10);
+    EXPECT_EQ(s[3], 19);
+
+    auto g = IndexSet::general({5, 1, 9});
+    EXPECT_EQ(g.min(), 1);
+    EXPECT_EQ(g.max(), 9);
+
+    std::vector<Index> blocks{2, 0};
+    auto b = IndexSet::block(3, blocks);
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b[0], 6);
+    EXPECT_EQ(b[2], 8);
+    EXPECT_EQ(b[3], 0);
+
+    auto id = IndexSet::identity(3);
+    EXPECT_EQ(id[2], 2);
+}
+
+TEST(VecOps, LayoutAndLocalAccess) {
+    World w(4);
+    w.run([](Comm& c) {
+        Vec v(c, 10);
+        EXPECT_EQ(v.global_size(), 10);
+        EXPECT_EQ(v.local_size(), split_ownership(10, c.rank(), 4).count());
+        v.set_all(static_cast<double>(c.rank()));
+        for (double x : v.local()) EXPECT_DOUBLE_EQ(x, c.rank());
+        // at_global on owned and not-owned indices.
+        const Index mine = v.range().begin;
+        v.at_global(mine) = 42.0;
+        EXPECT_DOUBLE_EQ(v.local()[0], 42.0);
+        const Index other = (v.range().end) % 10;
+        if (!v.range().contains(other)) {
+            EXPECT_THROW(v.at_global(other), nncomm::Error);
+        }
+    });
+}
+
+TEST(VecOps, FromLocalSize) {
+    World w(3);
+    w.run([](Comm& c) {
+        // Rank r holds r + 1 entries.
+        Vec v = Vec::from_local_size(c, c.rank() + 1);
+        EXPECT_EQ(v.global_size(), 6);
+        EXPECT_EQ(v.local_size(), c.rank() + 1);
+        const Index expected_begin = c.rank() * (c.rank() + 1) / 2;
+        EXPECT_EQ(v.range().begin, expected_begin);
+    });
+}
+
+TEST(VecOps, AxpyFamilies) {
+    World w(2);
+    w.run([](Comm& c) {
+        Vec x(c, 8), y(c, 8), z(c, 8);
+        x.set_all(2.0);
+        y.set_all(3.0);
+        y.axpy(0.5, x);  // y = 3 + 1 = 4
+        for (double v : y.local()) EXPECT_DOUBLE_EQ(v, 4.0);
+        y.aypx(2.0, x);  // y = 2*4 + 2 = 10
+        for (double v : y.local()) EXPECT_DOUBLE_EQ(v, 10.0);
+        z.waxpy_diff(y, x);  // z = 10 - 2 = 8
+        for (double v : z.local()) EXPECT_DOUBLE_EQ(v, 8.0);
+        z.scale(0.25);
+        for (double v : z.local()) EXPECT_DOUBLE_EQ(v, 2.0);
+        z.pointwise_mult(x, y);
+        for (double v : z.local()) EXPECT_DOUBLE_EQ(v, 20.0);
+    });
+}
+
+TEST(VecOps, CollectiveReductions) {
+    World w(4);
+    w.run([](Comm& c) {
+        Vec x(c, 16);
+        // x = [0, 1, ..., 15] laid out across ranks.
+        for (Index i = x.range().begin; i < x.range().end; ++i) {
+            x.at_global(i) = static_cast<double>(i);
+        }
+        EXPECT_DOUBLE_EQ(x.sum(), 120.0);
+        EXPECT_DOUBLE_EQ(x.norm_inf(), 15.0);
+        EXPECT_DOUBLE_EQ(x.dot(x), 1240.0);  // sum i^2, i<16
+        EXPECT_NEAR(x.norm2(), std::sqrt(1240.0), 1e-12);
+    });
+}
+
+TEST(VecOps, IncompatibleLayoutsRejected) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     Vec a(c, 8), b(c, 10);
+                     a.axpy(1.0, b);
+                 }),
+                 nncomm::Error);
+}
+
+TEST(VecOps, CloneEmptyPreservesLayout) {
+    World w(3);
+    w.run([](Comm& c) {
+        Vec v = Vec::from_local_size(c, 2 * c.rank() + 1);
+        v.set_all(7.0);
+        Vec u = v.clone_empty();
+        EXPECT_EQ(u.local_size(), v.local_size());
+        EXPECT_EQ(u.range().begin, v.range().begin);
+        for (double x : u.local()) EXPECT_DOUBLE_EQ(x, 0.0);
+    });
+}
+
+}  // namespace

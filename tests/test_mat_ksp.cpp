@@ -1,0 +1,346 @@
+// Tests for MatAIJ (assembly, matvec vs dense reference, ghost handling)
+// and the Krylov solvers (CG with and without preconditioning, Richardson).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "petsckit/laplacian.hpp"
+#include "petsckit/mat.hpp"
+#include "petsckit/mg.hpp"
+
+namespace {
+
+using namespace nncomm;
+using pk::DMDA;
+using pk::GridSize;
+using pk::Index;
+using pk::JacobiPreconditioner;
+using pk::KspConfig;
+using pk::LaplacianOp;
+using pk::Layout;
+using pk::MatAIJ;
+using pk::MatOperator;
+using pk::ScatterBackend;
+using pk::Stencil;
+using pk::Vec;
+using rt::Comm;
+using rt::World;
+
+TEST(Mat, DiagonalMatrixMatvec) {
+    World w(3);
+    w.run([](Comm& c) {
+        auto layout = std::make_shared<const Layout>(Layout::uniform(9, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, static_cast<double>(r + 1));
+        }
+        m.assemble();
+        EXPECT_EQ(m.num_ghost_cols(), 0u);
+
+        Vec x(c, 9), y(c, 9);
+        x.set_all(2.0);
+        m.mult(x, y);
+        for (Index r = y.range().begin; r < y.range().end; ++r) {
+            EXPECT_DOUBLE_EQ(y.at_global(r), 2.0 * (r + 1));
+        }
+    });
+}
+
+TEST(Mat, TridiagonalMatvecCrossesRanks) {
+    World w(4);
+    w.run([](Comm& c) {
+        const Index n = 13;
+        auto layout = std::make_shared<const Layout>(Layout::uniform(n, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, 2.0);
+            if (r > 0) m.set_value(r, r - 1, -1.0);
+            if (r < n - 1) m.set_value(r, r + 1, -1.0);
+        }
+        m.assemble();
+
+        Vec x(c, n), y(c, n);
+        for (Index i = x.range().begin; i < x.range().end; ++i) {
+            x.at_global(i) = static_cast<double>(i);
+        }
+        m.mult(x, y);
+        for (Index r = y.range().begin; r < y.range().end; ++r) {
+            double expect = 2.0 * r;
+            if (r > 0) expect -= (r - 1.0);
+            if (r < n - 1) expect -= (r + 1.0);
+            EXPECT_DOUBLE_EQ(y.at_global(r), expect);
+        }
+    });
+}
+
+TEST(Mat, RandomSparseMatchesDenseReference) {
+    World w(4);
+    w.run([](Comm& c) {
+        const Index n = 24;
+        // Every rank builds the same global dense reference deterministically.
+        Rng rng(99);
+        std::vector<double> dense(static_cast<std::size_t>(n * n), 0.0);
+        for (Index r = 0; r < n; ++r) {
+            for (Index col = 0; col < n; ++col) {
+                if (rng.bernoulli(0.2)) {
+                    dense[static_cast<std::size_t>(r * n + col)] = rng.uniform(-2.0, 2.0);
+                }
+            }
+        }
+        auto layout = std::make_shared<const Layout>(Layout::uniform(n, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            for (Index col = 0; col < n; ++col) {
+                const double v = dense[static_cast<std::size_t>(r * n + col)];
+                if (v != 0.0) m.set_value(r, col, v);
+            }
+        }
+        m.assemble();
+
+        Vec x(c, n), y(c, n);
+        for (Index i = x.range().begin; i < x.range().end; ++i) {
+            x.at_global(i) = std::sin(static_cast<double>(i));
+        }
+        m.mult(x, y);
+        for (Index r = y.range().begin; r < y.range().end; ++r) {
+            double expect = 0.0;
+            for (Index col = 0; col < n; ++col) {
+                expect += dense[static_cast<std::size_t>(r * n + col)] *
+                          std::sin(static_cast<double>(col));
+            }
+            EXPECT_NEAR(y.at_global(r), expect, 1e-12);
+        }
+    });
+}
+
+TEST(Mat, AddValueAccumulatesSetValueOverwrites) {
+    World w(1);
+    w.run([](Comm& c) {
+        auto layout = std::make_shared<const Layout>(Layout::uniform(2, 1));
+        MatAIJ m(c, layout);
+        m.add_value(0, 0, 1.0);
+        m.add_value(0, 0, 2.0);
+        m.set_value(1, 1, 9.0);
+        m.set_value(1, 1, 5.0);
+        m.assemble();
+        Vec x(c, 2), y(c, 2);
+        x.set_all(1.0);
+        m.mult(x, y);
+        EXPECT_DOUBLE_EQ(y.at_global(0), 3.0);
+        EXPECT_DOUBLE_EQ(y.at_global(1), 5.0);
+    });
+}
+
+TEST(Mat, GetDiagonal) {
+    World w(2);
+    w.run([](Comm& c) {
+        auto layout = std::make_shared<const Layout>(Layout::uniform(6, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, static_cast<double>(10 + r));
+            m.set_value(r, (r + 1) % 6, 1.0);
+        }
+        m.assemble();
+        Vec d(c, 6);
+        m.get_diagonal(d);
+        for (Index r = d.range().begin; r < d.range().end; ++r) {
+            EXPECT_DOUBLE_EQ(d.at_global(r), 10.0 + r);
+        }
+    });
+}
+
+TEST(Mat, RejectsOffRankRowsAndLateInserts) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     auto layout = std::make_shared<const Layout>(Layout::uniform(4, 2));
+                     MatAIJ m(c, layout);
+                     const Index foreign = (c.rank() == 0) ? 3 : 0;
+                     m.set_value(foreign, 0, 1.0);
+                 }),
+                 nncomm::Error);
+}
+
+TEST(Mat, AssembledLaplacianMatchesMatrixFreeOperator) {
+    // The MatAIJ path (with its scatter-based ghost gather) and the
+    // stencil path (DMDA ghost exchange) must agree to machine precision.
+    World w(4);
+    w.run([](Comm& c) {
+        auto da = std::make_shared<const DMDA>(c, 2, GridSize{9, 9, 1}, 1, 1, Stencil::Star);
+        LaplacianOp op(da);
+        MatAIJ m(c, da->layout());
+        assemble_laplacian(m, *da);
+        m.assemble();
+
+        Vec x = da->create_global();
+        Rng rng(7 + static_cast<unsigned>(c.rank()));
+        for (double& v : x.local()) v = rng.uniform(-1.0, 1.0);
+        Vec y1 = x.clone_empty(), y2 = x.clone_empty();
+        op.apply(x, y1);
+        m.mult(x, y2);
+        for (Index i = 0; i < y1.local_size(); ++i) {
+            EXPECT_NEAR(y1.data()[i], y2.data()[i], 1e-12);
+        }
+    });
+}
+
+TEST(Mat, GhostBackendsAgree) {
+    World w(4);
+    w.run([](Comm& c) {
+        auto da = std::make_shared<const DMDA>(c, 2, GridSize{8, 8, 1}, 1, 1, Stencil::Star);
+        Vec x = da->create_global();
+        for (Index i = 0; i < x.local_size(); ++i) {
+            x.data()[i] = static_cast<double>(x.range().begin + i);
+        }
+        Vec ref;
+        for (auto backend : {ScatterBackend::HandTuned, ScatterBackend::DatatypeBaseline,
+                             ScatterBackend::DatatypeOptimized}) {
+            MatAIJ m(c, da->layout());
+            assemble_laplacian(m, *da);
+            m.assemble(backend);
+            Vec y = x.clone_empty();
+            m.mult(x, y);
+            if (!ref.valid()) {
+                ref = y.clone_empty();
+                ref.copy_from(y);
+            } else {
+                for (Index i = 0; i < y.local_size(); ++i) {
+                    EXPECT_DOUBLE_EQ(y.data()[i], ref.data()[i]);
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// KSP
+
+TEST(Ksp, CgSolvesTridiagonalSystem) {
+    World w(4);
+    w.run([](Comm& c) {
+        const Index n = 32;
+        auto layout = std::make_shared<const Layout>(Layout::uniform(n, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, 2.0);
+            if (r > 0) m.set_value(r, r - 1, -1.0);
+            if (r < n - 1) m.set_value(r, r + 1, -1.0);
+        }
+        m.assemble();
+        MatOperator A(m);
+
+        Vec b(c, n), x(c, n);
+        b.set_all(1.0);
+        auto res = pk::cg(A, b, x, KspConfig{1e-10, 1e-50, 500});
+        EXPECT_TRUE(res.converged);
+
+        // Verify the residual directly.
+        Vec Ax = b.clone_empty(), r = b.clone_empty();
+        A.apply(x, Ax);
+        r.waxpy_diff(b, Ax);
+        EXPECT_LT(r.norm2(), 1e-8 * b.norm2());
+    });
+}
+
+TEST(Ksp, JacobiPreconditioningReducesIterations) {
+    World w(2);
+    w.run([](Comm& c) {
+        const Index n = 64;
+        auto layout = std::make_shared<const Layout>(Layout::uniform(n, c.size()));
+        // Badly scaled diagonal system plus weak coupling.
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, 1.0 + static_cast<double>(r) * 10.0);
+            if (r > 0) m.set_value(r, r - 1, -0.5);
+            if (r < n - 1) m.set_value(r, r + 1, -0.5);
+        }
+        m.assemble();
+        MatOperator A(m);
+        Vec b(c, n);
+        b.set_all(1.0);
+
+        Vec x1(c, n);
+        auto plain = pk::cg(A, b, x1, KspConfig{1e-10, 1e-50, 1000});
+        Vec d(c, n);
+        m.get_diagonal(d);
+        JacobiPreconditioner M(d);
+        Vec x2(c, n);
+        auto pc = pk::cg(A, b, x2, KspConfig{1e-10, 1e-50, 1000}, &M);
+        EXPECT_TRUE(plain.converged);
+        EXPECT_TRUE(pc.converged);
+        EXPECT_LT(pc.iterations, plain.iterations);
+    });
+}
+
+TEST(Ksp, CgOnMatrixFreeLaplacian) {
+    World w(4);
+    w.run([](Comm& c) {
+        auto da = std::make_shared<const DMDA>(c, 2, GridSize{17, 17, 1}, 1, 1, Stencil::Star);
+        LaplacianOp A(da);
+        Vec b = da->create_global();
+        pk::fill_rhs_constant(*da, b);
+        Vec x = b.clone_empty();
+        auto res = pk::cg(A, b, x, KspConfig{1e-8, 1e-50, 2000});
+        EXPECT_TRUE(res.converged);
+        // The solution of -Δu = 1 with zero boundary is positive inside.
+        double local_max = 0.0;
+        for (double v : x.local()) local_max = std::max(local_max, v);
+        const double global_max = coll::allreduce_one(c, local_max, coll::ReduceOp::Max);
+        EXPECT_GT(global_max, 0.01);
+    });
+}
+
+TEST(Ksp, RichardsonConvergesOnDiagonallyDominantSystem) {
+    World w(2);
+    w.run([](Comm& c) {
+        const Index n = 16;
+        auto layout = std::make_shared<const Layout>(Layout::uniform(n, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) {
+            m.set_value(r, r, 4.0);
+            if (r > 0) m.set_value(r, r - 1, -1.0);
+            if (r < n - 1) m.set_value(r, r + 1, -1.0);
+        }
+        m.assemble();
+        MatOperator A(m);
+        Vec b(c, n), x(c, n);
+        b.set_all(2.0);
+        pk::richardson(A, b, x, 0.2, 200);
+        Vec Ax = b.clone_empty(), r = b.clone_empty();
+        A.apply(x, Ax);
+        r.waxpy_diff(b, Ax);
+        EXPECT_LT(r.norm2(), 1e-6);
+    });
+}
+
+TEST(Ksp, CgRejectsIndefiniteOperator) {
+    World w(1);
+    w.run([](Comm& c) {
+        auto layout = std::make_shared<const Layout>(Layout::uniform(2, 1));
+        MatAIJ m(c, layout);
+        m.set_value(0, 0, 1.0);
+        m.set_value(1, 1, -1.0);
+        m.assemble();
+        MatOperator A(m);
+        Vec b(c, 2), x(c, 2);
+        b.set_all(1.0);
+        EXPECT_THROW(pk::cg(A, b, x), nncomm::Error);
+    });
+}
+
+TEST(Ksp, ZeroRhsConvergesImmediately) {
+    World w(2);
+    w.run([](Comm& c) {
+        auto layout = std::make_shared<const Layout>(Layout::uniform(4, c.size()));
+        MatAIJ m(c, layout);
+        for (Index r = m.row_range().begin; r < m.row_range().end; ++r) m.set_value(r, r, 1.0);
+        m.assemble();
+        MatOperator A(m);
+        Vec b(c, 4), x(c, 4);
+        auto res = pk::cg(A, b, x);
+        EXPECT_TRUE(res.converged);
+        EXPECT_EQ(res.iterations, 0);
+    });
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the communication-volume outlier analysis (paper Eq. 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/outlier.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using nncomm::analyze_volumes;
+using nncomm::OutlierConfig;
+using nncomm::volumes_nonuniform;
+
+TEST(Outlier, UniformVolumesAreUniform) {
+    std::vector<std::uint64_t> v(64, 4096);
+    auto a = analyze_volumes(v);
+    EXPECT_DOUBLE_EQ(a.ratio, 1.0);
+    EXPECT_FALSE(a.nonuniform);
+}
+
+TEST(Outlier, SingleLargeOutlierDetected) {
+    // The paper's Allgatherv benchmark: process 0 sends 32 KB, the other 63
+    // send one double.
+    std::vector<std::uint64_t> v(64, 8);
+    v[0] = 32 * 1024;
+    auto a = analyze_volumes(v);
+    EXPECT_EQ(a.max_volume, 32u * 1024u);
+    EXPECT_EQ(a.bulk_volume, 8u);
+    EXPECT_GT(a.ratio, 1000.0);
+    EXPECT_TRUE(a.nonuniform);
+}
+
+TEST(Outlier, ModerateSpreadBelowThresholdIsUniform) {
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t i = 0; i < 64; ++i) v.push_back(1000 + i * 10);  // 1000..1630
+    auto a = analyze_volumes(v);
+    EXPECT_LT(a.ratio, 2.0);
+    EXPECT_FALSE(a.nonuniform);
+}
+
+TEST(Outlier, RatioThresholdBoundary) {
+    std::vector<std::uint64_t> v(10, 100);
+    v[9] = 399;  // bulk (rank 9) = 100, max = 399 -> ratio 3.99
+    OutlierConfig cfg;
+    cfg.outlier_fract = 0.9;
+    cfg.ratio_threshold = 4.0;
+    auto a = analyze_volumes(v, cfg);
+    EXPECT_FALSE(a.nonuniform);
+    v[9] = 401;
+    a = analyze_volumes(v, cfg);
+    EXPECT_TRUE(a.nonuniform);
+}
+
+TEST(Outlier, AllZeroVolumes) {
+    std::vector<std::uint64_t> v(16, 0);
+    auto a = analyze_volumes(v);
+    EXPECT_DOUBLE_EQ(a.ratio, 1.0);
+    EXPECT_FALSE(a.nonuniform);
+}
+
+TEST(Outlier, ZeroBulkNonzeroMaxIsInfinitelyNonuniform) {
+    // Nearest-neighbor Alltoallw volume sets look like this: mostly zeros
+    // with a couple of nonzero neighbors.
+    std::vector<std::uint64_t> v(32, 0);
+    v[1] = 800;
+    v[31] = 800;
+    auto a = analyze_volumes(v);
+    EXPECT_TRUE(std::isinf(a.ratio));
+    EXPECT_TRUE(a.nonuniform);
+}
+
+TEST(Outlier, SingleProcess) {
+    std::vector<std::uint64_t> v{12345};
+    auto a = analyze_volumes(v);
+    EXPECT_FALSE(a.nonuniform);
+    EXPECT_EQ(a.max_volume, 12345u);
+}
+
+TEST(Outlier, RejectsEmptySet) {
+    std::vector<std::uint64_t> v;
+    EXPECT_THROW(analyze_volumes(v), nncomm::Error);
+}
+
+TEST(Outlier, RejectsBadFraction) {
+    std::vector<std::uint64_t> v{1, 2, 3};
+    OutlierConfig cfg;
+    cfg.outlier_fract = 0.0;
+    EXPECT_THROW(analyze_volumes(v, cfg), nncomm::Error);
+    cfg.outlier_fract = 1.5;
+    EXPECT_THROW(analyze_volumes(v, cfg), nncomm::Error);
+}
+
+TEST(Outlier, FractionControlsSensitivity) {
+    // 25% of processes are heavy. With outlier_fract = 0.9 the bulk
+    // quantile lands inside the heavy group -> uniform; with 0.5 the bulk
+    // quantile is a light process -> nonuniform.
+    std::vector<std::uint64_t> v(16, 10);
+    for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = 10000;
+    OutlierConfig cfg;
+    cfg.outlier_fract = 0.9;
+    EXPECT_FALSE(volumes_nonuniform(v, cfg));
+    cfg.outlier_fract = 0.5;
+    EXPECT_TRUE(volumes_nonuniform(v, cfg));
+}
+
+// Property sweep: planting k outliers of magnitude M in an n-process
+// uniform set is detected iff k is within the outlier fraction and M
+// exceeds the ratio threshold.
+class OutlierProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(OutlierProperty, PlantedOutliers) {
+    const auto [n, k, mag] = GetParam();
+    if (k >= n) GTEST_SKIP();
+    std::vector<std::uint64_t> v(n, 64);
+    nncomm::Rng rng(n * 31 + k);
+    // Plant k outliers at random positions.
+    for (std::size_t planted = 0; planted < k;) {
+        const auto pos = static_cast<std::size_t>(rng.uniform_u64(0, n - 1));
+        if (v[pos] == 64) {
+            v[pos] = 64 * mag;
+            ++planted;
+        }
+    }
+    OutlierConfig cfg;  // fract 0.9, threshold 4
+    const bool detected = volumes_nonuniform(v, cfg);
+    const bool k_small_enough =
+        k + std::clamp<std::size_t>(static_cast<std::size_t>(0.9 * static_cast<double>(n)), 1,
+                                    n) <= n;
+    const bool expected = k_small_enough && mag > 4;
+    EXPECT_EQ(detected, expected) << "n=" << n << " k=" << k << " mag=" << mag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OutlierProperty,
+                         ::testing::Combine(::testing::Values<std::size_t>(16, 64, 128, 1000),
+                                            ::testing::Values<std::size_t>(1, 2, 5),
+                                            ::testing::Values<std::uint64_t>(2, 8, 1000)));
+
+}  // namespace

@@ -1,0 +1,278 @@
+// Extended property tests: randomized datatype trees over the full
+// constructor set (engines vs reference packer), cross-algorithm collective
+// fuzzing, and point-to-point message storms.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "core/rng.hpp"
+#include "datatype/engine.hpp"
+#include "datatype/pack.hpp"
+
+namespace {
+
+using namespace nncomm;
+using dt::Datatype;
+using rt::Comm;
+using rt::World;
+
+// ---------------------------------------------------------------------------
+// randomized type trees over every constructor
+
+Datatype random_type_full(Rng& rng, int depth) {
+    if (depth == 0) {
+        switch (rng.uniform_u64(0, 3)) {
+            case 0: return Datatype::float64();
+            case 1: return Datatype::int32();
+            case 2: return Datatype::float32();
+            default: return Datatype::byte();
+        }
+    }
+    auto child = random_type_full(rng, depth - 1);
+    switch (rng.uniform_u64(0, 6)) {
+        case 0:
+            return Datatype::contiguous(rng.uniform_u64(1, 4), child);
+        case 1: {
+            const std::size_t count = rng.uniform_u64(1, 4);
+            const std::size_t bl = rng.uniform_u64(1, 3);
+            const std::ptrdiff_t stride =
+                static_cast<std::ptrdiff_t>(bl + rng.uniform_u64(0, 3));
+            return Datatype::vector(count, bl, stride, child);
+        }
+        case 2: {
+            const std::size_t count = rng.uniform_u64(1, 3);
+            const std::size_t bl = rng.uniform_u64(1, 2);
+            // Byte stride rounded up past the block span to avoid overlap.
+            const std::ptrdiff_t stride =
+                static_cast<std::ptrdiff_t>(bl) * child.extent() +
+                static_cast<std::ptrdiff_t>(rng.uniform_u64(0, 13));
+            return Datatype::hvector(count, bl, stride, child);
+        }
+        case 3: {
+            const std::size_t nb = rng.uniform_u64(1, 3);
+            std::vector<std::size_t> lens(nb);
+            std::vector<std::ptrdiff_t> displs(nb);
+            std::ptrdiff_t at = 0;
+            for (std::size_t i = 0; i < nb; ++i) {
+                lens[i] = rng.uniform_u64(1, 2);
+                displs[i] = at;
+                at += static_cast<std::ptrdiff_t>(lens[i] + rng.uniform_u64(0, 2));
+            }
+            return Datatype::indexed(lens, displs, child);
+        }
+        case 4: {
+            const std::size_t nb = rng.uniform_u64(1, 3);
+            std::vector<std::ptrdiff_t> displs(nb);
+            const std::size_t bl = rng.uniform_u64(1, 2);
+            for (std::size_t i = 0; i < nb; ++i) {
+                displs[i] = static_cast<std::ptrdiff_t>(i * (bl + rng.uniform_u64(0, 2)));
+            }
+            return Datatype::indexed_block(bl, displs, child);
+        }
+        case 5: {
+            // Struct over two independently random children.
+            auto other = random_type_full(rng, depth - 1);
+            std::vector<std::size_t> lens{rng.uniform_u64(1, 2), rng.uniform_u64(1, 2)};
+            const std::ptrdiff_t gap0 =
+                static_cast<std::ptrdiff_t>(lens[0]) * child.extent() - child.lb();
+            std::vector<std::ptrdiff_t> displs{
+                -child.lb(), gap0 - other.lb() + static_cast<std::ptrdiff_t>(
+                                                     rng.uniform_u64(0, 9))};
+            std::vector<Datatype> types{child, other};
+            return Datatype::struct_type(lens, displs, types);
+        }
+        default:
+            return Datatype::resized(
+                child, child.lb(),
+                child.extent() + static_cast<std::ptrdiff_t>(rng.uniform_u64(0, 11)));
+    }
+}
+
+class FullTypeTreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullTypeTreeProperty, EnginesMatchReferenceOnArbitraryTrees) {
+    Rng rng(GetParam() * 7919 + 13);
+    auto t = random_type_full(rng, static_cast<int>(rng.uniform_u64(1, 3)));
+    const std::size_t count = rng.uniform_u64(1, 3);
+
+    // Size the buffer by true data bounds (resized types read past extent).
+    const auto& flat = t.flat();
+    const std::ptrdiff_t lo =
+        std::min<std::ptrdiff_t>(0, flat.data_lb());  // struct displs keep data_lb >= 0 here
+    ASSERT_GE(flat.data_lb(), 0) << "generator must not produce negative offsets";
+    const std::size_t span = static_cast<std::size_t>(
+        t.extent() * static_cast<std::ptrdiff_t>(count - 1) + flat.data_ub() + 8 - lo);
+    std::vector<std::byte> buf(span);
+    for (std::size_t i = 0; i < span; ++i) {
+        buf[i] = static_cast<std::byte>(rng.uniform_u64(0, 255));
+    }
+
+    auto ref = dt::pack_all(buf.data(), t, count);
+    EXPECT_EQ(ref.size(), t.size() * count);
+
+    dt::EngineConfig cfg;
+    cfg.pipeline_chunk = 1 + rng.uniform_u64(0, 300);
+    cfg.density_threshold = (rng.uniform_u64(0, 1) != 0) ? 1.0 : 64.0;
+    for (auto kind : {dt::EngineKind::SingleContext, dt::EngineKind::DualContext}) {
+        auto e = dt::make_engine(kind, buf.data(), t, count, cfg);
+        std::vector<std::byte> out;
+        dt::ChunkView chunk;
+        while (e->next_chunk(chunk)) {
+            if (chunk.dense) {
+                for (const auto& [p, len] : chunk.iov) out.insert(out.end(), p, p + len);
+            } else {
+                out.insert(out.end(), chunk.packed.begin(), chunk.packed.end());
+            }
+        }
+        EXPECT_EQ(out, ref) << t.describe() << " count=" << count << " chunk="
+                            << cfg.pipeline_chunk;
+    }
+
+    // Round trip through unpack restores the packed view.
+    std::vector<std::byte> buf2(span, std::byte{0});
+    dt::unpack_all(buf2.data(), t, count, ref);
+    auto repacked = dt::pack_all(buf2.data(), t, count);
+    EXPECT_EQ(repacked, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FullTypeTreeProperty, ::testing::Range<std::uint64_t>(1, 61));
+
+// ---------------------------------------------------------------------------
+// collective fuzzing: all allgatherv algorithms agree on random volume sets
+
+class AllgathervFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllgathervFuzz, AlgorithmsAgreeOnRandomVolumes) {
+    Rng rng(GetParam() * 104729);
+    const int n = static_cast<int>(rng.uniform_u64(2, 10));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    std::size_t at = 0;
+    for (int i = 0; i < n; ++i) {
+        counts[static_cast<std::size_t>(i)] =
+            rng.bernoulli(0.2) ? 0 : rng.uniform_u64(1, 200);
+        displs[static_cast<std::size_t>(i)] = at;
+        at += counts[static_cast<std::size_t>(i)];
+    }
+    if (at == 0) {
+        counts[0] = 1;
+        at = 1;
+        for (int i = 1; i < n; ++i) displs[static_cast<std::size_t>(i)] = 1;
+    }
+    const bool pow2 = (n & (n - 1)) == 0;
+
+    World w(n);
+    w.run([&](Comm& c) {
+        const std::size_t mine = counts[static_cast<std::size_t>(c.rank())];
+        std::vector<double> send(std::max<std::size_t>(mine, 1));
+        for (std::size_t j = 0; j < mine; ++j) {
+            send[j] = 10000.0 * c.rank() + static_cast<double>(j);
+        }
+        std::vector<std::vector<double>> results;
+        for (auto algo : {coll::AllgathervAlgo::Auto, coll::AllgathervAlgo::Ring,
+                          coll::AllgathervAlgo::RecursiveDoubling,
+                          coll::AllgathervAlgo::Dissemination}) {
+            if (algo == coll::AllgathervAlgo::RecursiveDoubling && !pow2) continue;
+            std::vector<double> recv(at, -1.0);
+            coll::CollConfig cfg;
+            cfg.allgatherv_algo = algo;
+            coll::allgatherv(c, send.data(), mine, Datatype::float64(), recv.data(), counts,
+                             displs, Datatype::float64(), cfg);
+            results.push_back(std::move(recv));
+        }
+        for (std::size_t r = 1; r < results.size(); ++r) {
+            EXPECT_EQ(results[r], results[0]) << "algo variant " << r << " n=" << n;
+        }
+        // And the contents are right.
+        for (int i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < counts[static_cast<std::size_t>(i)]; ++j) {
+                EXPECT_DOUBLE_EQ(results[0][displs[static_cast<std::size_t>(i)] + j],
+                                 10000.0 * i + static_cast<double>(j));
+            }
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllgathervFuzz, ::testing::Range<std::uint64_t>(1, 25));
+
+// ---------------------------------------------------------------------------
+// point-to-point storms
+
+TEST(RuntimeStorm, ManyToManyRandomTagsAndSizes) {
+    const int n = 6;
+    World w(n);
+    w.run([&](Comm& c) {
+        Rng rng(777 + static_cast<std::uint64_t>(c.rank()));
+        constexpr int kMsgsPerPair = 20;
+        // Everyone sends kMsgsPerPair messages to every other rank; message
+        // m to peer p carries tag m and a size derived from (sender, m).
+        std::vector<rt::Request> recvs;
+        std::vector<std::vector<int>> recv_bufs;
+        for (int src = 0; src < n; ++src) {
+            if (src == c.rank()) continue;
+            for (int m = 0; m < kMsgsPerPair; ++m) {
+                const std::size_t len = 1 + static_cast<std::size_t>((src * 31 + m * 7) % 97);
+                recv_bufs.emplace_back(len, -1);
+                recvs.push_back(c.irecv(recv_bufs.back().data(), len * 4, Datatype::byte(),
+                                        src, m));
+            }
+        }
+        for (int dst = 0; dst < n; ++dst) {
+            if (dst == c.rank()) continue;
+            for (int m = 0; m < kMsgsPerPair; ++m) {
+                const std::size_t len =
+                    1 + static_cast<std::size_t>((c.rank() * 31 + m * 7) % 97);
+                std::vector<int> payload(len);
+                for (std::size_t j = 0; j < len; ++j) {
+                    payload[j] = c.rank() * 100000 + m * 1000 + static_cast<int>(j);
+                }
+                c.send(payload.data(), len * 4, Datatype::byte(), dst, m);
+            }
+        }
+        c.waitall(recvs);
+        // Validate every received buffer.
+        std::size_t idx = 0;
+        for (int src = 0; src < n; ++src) {
+            if (src == c.rank()) continue;
+            for (int m = 0; m < kMsgsPerPair; ++m, ++idx) {
+                const auto& buf = recv_bufs[idx];
+                for (std::size_t j = 0; j < buf.size(); ++j) {
+                    ASSERT_EQ(buf[j], src * 100000 + m * 1000 + static_cast<int>(j))
+                        << "src=" << src << " m=" << m << " j=" << j;
+                }
+            }
+        }
+    });
+}
+
+TEST(RuntimeStorm, InterleavedCollectivesAndPointToPoint) {
+    // Collectives on the internal context must not disturb user p2p
+    // traffic that is in flight, including wildcard receives.
+    const int n = 4;
+    World w(n);
+    w.run([&](Comm& c) {
+        // Post a wildcard receive that stays pending across collectives.
+        int late = -1;
+        rt::Request pending =
+            c.irecv(&late, sizeof(int), Datatype::byte(), rt::kAnySource, 999);
+
+        for (int round = 0; round < 10; ++round) {
+            double v = c.rank() + round;
+            coll::allreduce(c, &v, 1, coll::ReduceOp::Sum);
+            EXPECT_DOUBLE_EQ(v, n * round + n * (n - 1) / 2.0);
+            c.barrier();
+        }
+
+        // Now satisfy the pending wildcard from the left neighbor.
+        const int to = (c.rank() + 1) % n;
+        const int payload = c.rank() * 11;
+        c.send(&payload, sizeof(int), Datatype::byte(), to, 999);
+        c.wait(pending);
+        EXPECT_EQ(late, ((c.rank() + n - 1) % n) * 11);
+    });
+}
+
+}  // namespace

@@ -1,0 +1,390 @@
+// Tests for the threaded message-passing runtime: matching, ordering,
+// wildcards, nonblocking ops, datatype transfers, barrier and error
+// propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "datatype/pack.hpp"
+#include "runtime/comm.hpp"
+
+namespace {
+
+using nncomm::dt::Datatype;
+using nncomm::rt::Comm;
+using nncomm::rt::kAnySource;
+using nncomm::rt::kAnyTag;
+using nncomm::rt::RecvStatus;
+using nncomm::rt::Request;
+using nncomm::rt::World;
+
+TEST(Runtime, SingleRankWorld) {
+    World w(1);
+    int visits = 0;
+    w.run([&](Comm& c) {
+        EXPECT_EQ(c.rank(), 0);
+        EXPECT_EQ(c.size(), 1);
+        ++visits;
+    });
+    EXPECT_EQ(visits, 1);
+}
+
+TEST(Runtime, PingPong) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int x = 42;
+            c.send_n(&x, 1, 1, 7);
+            int y = 0;
+            RecvStatus st = c.recv_n(&y, 1, 1, 8);
+            EXPECT_EQ(y, 43);
+            EXPECT_EQ(st.source, 1);
+            EXPECT_EQ(st.tag, 8);
+            EXPECT_EQ(st.bytes, sizeof(int));
+        } else {
+            int x = 0;
+            c.recv_n(&x, 1, 0, 7);
+            const int y = x + 1;
+            c.send_n(&y, 1, 0, 8);
+        }
+    });
+}
+
+TEST(Runtime, SendBeforeRecvIsBuffered) {
+    // The unexpected-message queue: sender completes before any recv posts.
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            for (int i = 0; i < 10; ++i) c.send_n(&i, 1, 1, i);
+        } else {
+            // Receive in reverse tag order to exercise matching, not FIFO.
+            for (int i = 9; i >= 0; --i) {
+                int v = -1;
+                c.recv_n(&v, 1, 0, i);
+                EXPECT_EQ(v, i);
+            }
+        }
+    });
+}
+
+TEST(Runtime, FifoOrderPerSenderSameTag) {
+    World w(2);
+    w.run([](Comm& c) {
+        constexpr int kN = 100;
+        if (c.rank() == 0) {
+            for (int i = 0; i < kN; ++i) c.send_n(&i, 1, 1, 5);
+        } else {
+            for (int i = 0; i < kN; ++i) {
+                int v = -1;
+                c.recv_n(&v, 1, 0, 5);
+                EXPECT_EQ(v, i);  // same (source, tag) => FIFO
+            }
+        }
+    });
+}
+
+TEST(Runtime, WildcardSource) {
+    World w(4);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<bool> seen(4, false);
+            for (int i = 1; i < 4; ++i) {
+                int v = -1;
+                RecvStatus st = c.recv_n(&v, 1, kAnySource, 3);
+                EXPECT_EQ(v, st.source * 10);
+                seen[static_cast<std::size_t>(st.source)] = true;
+            }
+            EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+        } else {
+            const int v = c.rank() * 10;
+            c.send_n(&v, 1, 0, 3);
+        }
+    });
+}
+
+TEST(Runtime, WildcardTag) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int v = 5;
+            c.send_n(&v, 1, 1, 1234);
+        } else {
+            int v = 0;
+            RecvStatus st = c.recv_n(&v, 1, 0, kAnyTag);
+            EXPECT_EQ(st.tag, 1234);
+            EXPECT_EQ(v, 5);
+        }
+    });
+}
+
+TEST(Runtime, ZeroByteMessageSynchronizes) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            c.send(nullptr, 0, Datatype::byte(), 1, 9);
+        } else {
+            RecvStatus st = c.recv(nullptr, 0, Datatype::byte(), 0, 9);
+            EXPECT_EQ(st.bytes, 0u);
+            EXPECT_EQ(st.source, 0);
+        }
+    });
+}
+
+TEST(Runtime, NonblockingExchange) {
+    World w(2);
+    w.run([](Comm& c) {
+        const int peer = 1 - c.rank();
+        std::vector<double> out(64, c.rank() + 1.0);
+        std::vector<double> in(64, 0.0);
+        Request rr = c.irecv(in.data(), in.size() * 8, Datatype::byte(), peer, 0);
+        Request sr = c.isend(out.data(), out.size() * 8, Datatype::byte(), peer, 0);
+        std::vector<Request> reqs{rr, sr};
+        c.waitall(reqs);
+        EXPECT_DOUBLE_EQ(in[0], peer + 1.0);
+        EXPECT_DOUBLE_EQ(in[63], peer + 1.0);
+    });
+}
+
+TEST(Runtime, SendRecvToSelf) {
+    World w(1);
+    w.run([](Comm& c) {
+        const int x = 77;
+        int y = 0;
+        c.sendrecv(&x, sizeof(int), Datatype::byte(), 0, 1, &y, sizeof(int), Datatype::byte(),
+                   0, 1);
+        EXPECT_EQ(y, 77);
+    });
+}
+
+TEST(Runtime, SendRecvRing) {
+    World w(5);
+    w.run([](Comm& c) {
+        const int n = c.size();
+        const int to = (c.rank() + 1) % n;
+        const int from = (c.rank() + n - 1) % n;
+        int out = c.rank();
+        int in = -1;
+        c.sendrecv(&out, sizeof(int), Datatype::byte(), to, 0, &in, sizeof(int),
+                   Datatype::byte(), from, 0);
+        EXPECT_EQ(in, from);
+    });
+}
+
+TEST(Runtime, NoncontiguousSendContiguousRecv) {
+    // The matrix-transpose pattern: send column-major with a derived type,
+    // receive raw bytes.
+    constexpr std::size_t n = 8;
+    World w(2);
+    w.run([&](Comm& c) {
+        auto elem = Datatype::contiguous(3, Datatype::float64());
+        auto col = Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), elem);
+        auto col_r = Datatype::resized(col, 0, elem.extent());
+        auto matrix = Datatype::contiguous(n, col_r);
+        if (c.rank() == 0) {
+            std::vector<double> m(n * n * 3);
+            std::iota(m.begin(), m.end(), 0.0);
+            c.send(m.data(), 1, matrix, 1, 0);
+        } else {
+            std::vector<double> recv(n * n * 3, -1.0);
+            c.recv(recv.data(), recv.size() * 8, Datatype::byte(), 0, 0);
+            // recv now holds the transpose: element (i,j) of the received
+            // row-major matrix is element (j,i) of the original.
+            for (std::size_t i = 0; i < n; ++i) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    for (std::size_t k = 0; k < 3; ++k) {
+                        EXPECT_DOUBLE_EQ(recv[(i * n + j) * 3 + k],
+                                         static_cast<double>((j * n + i) * 3 + k));
+                    }
+                }
+            }
+        }
+    });
+}
+
+TEST(Runtime, NoncontiguousBothSides) {
+    // Send a column, receive into a row: both ranks use derived types.
+    constexpr std::size_t n = 6;
+    World w(2);
+    w.run([&](Comm& c) {
+        auto col = Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), Datatype::float64());
+        auto row = Datatype::contiguous(n, Datatype::float64());
+        if (c.rank() == 0) {
+            std::vector<double> m(n * n);
+            std::iota(m.begin(), m.end(), 0.0);
+            c.send(m.data(), 1, col, 1, 0);  // column 0: 0, 6, 12, ...
+        } else {
+            std::vector<double> m(n * n, -1.0);
+            c.recv(m.data() + n, 1, row, 0, 0);  // into row 1
+            for (std::size_t j = 0; j < n; ++j) {
+                EXPECT_DOUBLE_EQ(m[n + j], static_cast<double>(j * n));
+            }
+            EXPECT_DOUBLE_EQ(m[0], -1.0);
+        }
+    });
+}
+
+TEST(Runtime, EngineSelectionBothProduceSameResult) {
+    constexpr std::size_t n = 12;
+    for (auto kind : {nncomm::dt::EngineKind::SingleContext, nncomm::dt::EngineKind::DualContext}) {
+        World w(2);
+        w.run([&](Comm& c) {
+            c.set_engine(kind);
+            auto col =
+                Datatype::vector(n, 1, static_cast<std::ptrdiff_t>(n), Datatype::float64());
+            if (c.rank() == 0) {
+                std::vector<double> m(n * n);
+                std::iota(m.begin(), m.end(), 0.0);
+                c.send(m.data(), 1, col, 1, 0);
+            } else {
+                std::vector<double> v(n, 0.0);
+                c.recv(v.data(), n * 8, Datatype::byte(), 0, 0);
+                for (std::size_t i = 0; i < n; ++i) {
+                    EXPECT_DOUBLE_EQ(v[i], static_cast<double>(i * n));
+                }
+            }
+        });
+    }
+}
+
+TEST(Runtime, BaselineEngineAccumulatesSearchCounters) {
+    constexpr std::size_t n = 64;
+    World w(2);
+    w.run([&](Comm& c) {
+        c.set_engine(nncomm::dt::EngineKind::SingleContext);
+        nncomm::dt::EngineConfig cfg;
+        cfg.pipeline_chunk = 512;
+        c.set_engine_config(cfg);
+        auto col = Datatype::vector(n * n, 1, 2, Datatype::float64());
+        if (c.rank() == 0) {
+            std::vector<double> m(2 * n * n + 2);
+            c.send(m.data(), 1, col, 1, 0);
+            EXPECT_GT(c.counters().search_blocks_visited, 0u);
+            EXPECT_GT(c.timers().ns(nncomm::Phase::Search), 0u);
+        } else {
+            std::vector<double> v(n * n);
+            c.recv(v.data(), n * n * 8, Datatype::byte(), 0, 0);
+        }
+    });
+}
+
+TEST(Runtime, Barrier) {
+    constexpr int kRounds = 20;
+    World w(7);
+    std::atomic<int> phase{0};
+    std::atomic<int> arrived{0};
+    w.run([&](Comm& c) {
+        for (int r = 0; r < kRounds; ++r) {
+            // Everyone must observe the same phase before and after.
+            EXPECT_EQ(phase.load(), r);
+            if (arrived.fetch_add(1) + 1 == c.size()) {
+                arrived.store(0);
+                phase.store(r + 1);
+            }
+            c.barrier();
+            EXPECT_EQ(phase.load(), r + 1);
+        }
+    });
+}
+
+TEST(Runtime, MessageLargerThanBufferThrows) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 0) {
+                         std::vector<double> big(100);
+                         c.send_n(big.data(), big.size(), 1, 0);
+                     } else {
+                         double small[2];
+                         c.recv_n(small, 2, 0, 0);
+                     }
+                 }),
+                 nncomm::Error);
+}
+
+TEST(Runtime, ExceptionInOneRankPropagatesAndUnblocksOthers) {
+    World w(3);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 0) {
+                         throw nncomm::Error("boom");
+                     }
+                     // Other ranks block on a message that never comes; the
+                     // abort must wake them.
+                     int v = 0;
+                     c.recv_n(&v, 1, 0, 99);
+                 }),
+                 nncomm::Error);
+}
+
+TEST(Runtime, InvalidDestinationRejected) {
+    World w(2);
+    EXPECT_THROW(w.run([](Comm& c) {
+                     if (c.rank() == 0) {
+                         int v = 1;
+                         c.send_n(&v, 1, 5, 0);  // rank 5 does not exist
+                     } else {
+                         int v = 0;
+                         c.recv_n(&v, 1, 0, 0);
+                     }
+                 }),
+                 nncomm::Error);
+}
+
+TEST(Runtime, WorldIsReusableAcrossRuns) {
+    World w(3);
+    for (int iter = 0; iter < 3; ++iter) {
+        w.run([&](Comm& c) {
+            int token = c.rank();
+            const int to = (c.rank() + 1) % c.size();
+            const int from = (c.rank() + c.size() - 1) % c.size();
+            int in = -1;
+            c.sendrecv(&token, sizeof(int), Datatype::byte(), to, iter, &in, sizeof(int),
+                       Datatype::byte(), from, iter);
+            EXPECT_EQ(in, from);
+        });
+    }
+}
+
+TEST(Runtime, ManyRanksAllToOne) {
+    World w(16);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            long sum = 0;
+            for (int i = 1; i < c.size(); ++i) {
+                int v = 0;
+                c.recv_n(&v, 1, kAnySource, 0);
+                sum += v;
+            }
+            EXPECT_EQ(sum, 15 * 16 / 2);
+        } else {
+            const int v = c.rank();
+            c.send_n(&v, 1, 0, 0);
+        }
+    });
+}
+
+// Parameterized stress: random point-to-point traffic with mixed datatypes
+// is delivered correctly at several world sizes.
+class RuntimeStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeStress, RandomRingTraffic) {
+    const int n = GetParam();
+    World w(n);
+    w.run([&](Comm& c) {
+        const int to = (c.rank() + 1) % n;
+        const int from = (c.rank() + n - 1) % n;
+        for (int round = 0; round < 8; ++round) {
+            std::vector<int> out(64);
+            std::iota(out.begin(), out.end(), c.rank() * 1000 + round);
+            std::vector<int> in(64, -1);
+            c.sendrecv(out.data(), out.size() * 4, Datatype::byte(), to, round, in.data(),
+                       in.size() * 4, Datatype::byte(), from, round);
+            EXPECT_EQ(in[0], from * 1000 + round);
+            EXPECT_EQ(in[63], from * 1000 + round + 63);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RuntimeStress, ::testing::Values(1, 2, 3, 4, 8, 13, 16));
+
+}  // namespace

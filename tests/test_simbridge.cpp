@@ -1,0 +1,203 @@
+// Tests for the simulator-bridge pieces: ProgramBuilder composition,
+// the BinnedRankOrder ablation schedule, the hand-tuned pack model, and
+// the communicator-free DMDA decomposition/traffic helpers (validated
+// against live DMDA instances).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "netsim/programs.hpp"
+#include "petsckit/dmda.hpp"
+
+namespace {
+
+using namespace nncomm;
+using namespace nncomm::sim;
+using pk::DMDA;
+using pk::GridBox;
+using pk::GridSize;
+using pk::Stencil;
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+
+TEST(ProgramBuilder, ComposesPhasesWithDistinctTags) {
+    auto cluster = make_uniform_cluster(4);
+    ProgramBuilder pb(cluster);
+    pb.add_compute_all(5.0);
+    pb.add_allreduce(8);
+    auto wl = make_ring_neighbor_workload(4, 100);
+    pb.add_alltoallw(wl, AlltoallwSchedule::Binned);
+    pb.add_barrier();
+    auto progs = pb.take();
+    ASSERT_EQ(progs.size(), 4u);
+    // Every rank got the compute op plus send/recv ops for each phase.
+    for (const auto& p : progs) {
+        EXPECT_GT(p.size(), 4u);
+        EXPECT_EQ(p.front().kind, Op::Kind::Compute);
+    }
+    // The composed program must run without deadlock.
+    Simulator sim(cluster);
+    auto r = sim.run(progs);
+    EXPECT_GT(r.makespan_us, 5.0);
+}
+
+TEST(ProgramBuilder, EquivalentToStandaloneGenerators) {
+    // A single alltoallw phase built through the builder times identically
+    // to the standalone generator (no skew so both are deterministic).
+    const int n = 8;
+    auto cluster = make_uniform_cluster(n);
+    auto wl = make_ring_neighbor_workload(n, 800);
+
+    ProgramBuilder pb(cluster);
+    pb.add_alltoallw(wl, AlltoallwSchedule::RoundRobin);
+    const auto via_builder = Simulator(cluster).run(pb.take());
+    const auto standalone =
+        Simulator(cluster).run(alltoallw_program(cluster, wl, AlltoallwSchedule::RoundRobin));
+    EXPECT_EQ(via_builder.makespan_us, standalone.makespan_us);
+    EXPECT_EQ(via_builder.messages, standalone.messages);
+}
+
+TEST(ProgramBuilder, AllreduceIsLogRounds) {
+    for (int n : {2, 5, 8, 16}) {
+        auto cluster = make_uniform_cluster(n);
+        ProgramBuilder pb(cluster);
+        pb.add_allreduce(8);
+        auto progs = pb.take();
+        int phases = 0;
+        for (int step = 1; step < n; step <<= 1) ++phases;
+        for (const auto& p : progs) {
+            EXPECT_EQ(p.size(), static_cast<std::size_t>(2 * phases)) << "n=" << n;
+        }
+        // Must complete deadlock-free.
+        Simulator(cluster).run(progs);
+    }
+}
+
+TEST(ProgramBuilder, RankCountMismatchRejected) {
+    auto cluster = make_uniform_cluster(4);
+    ProgramBuilder pb(cluster);
+    auto wl = make_ring_neighbor_workload(8, 100);
+    EXPECT_THROW(pb.add_alltoallw(wl, AlltoallwSchedule::Binned), nncomm::Error);
+}
+
+// ---------------------------------------------------------------------------
+// BinnedRankOrder ablation schedule and pack models
+
+TEST(Schedules, BinnedRankOrderMovesSameBytesAsBinned) {
+    const int n = 16;
+    auto cluster = make_uniform_cluster(n);
+    auto wl = make_ring_neighbor_workload(n, 800);
+    auto a = Simulator(cluster).run(alltoallw_program(cluster, wl, AlltoallwSchedule::Binned));
+    auto b = Simulator(cluster).run(
+        alltoallw_program(cluster, wl, AlltoallwSchedule::BinnedRankOrder));
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST(Schedules, SmallFirstOrderingHelpsSmallPeers) {
+    // Rank 0: huge noncontiguous message to rank 1, tiny one to rank 2.
+    const int n = 4;
+    auto cluster = make_uniform_cluster(n);
+    AlltoallwWorkload wl;
+    wl.nprocs = n;
+    wl.volume.assign(16, 0);
+    wl.vol(0, 1) = 8 << 20;
+    wl.vol(0, 2) = 64;
+    wl.block_len = 24.0;
+    wl.pack = PackModel::DualContext;
+
+    const auto ordered =
+        Simulator(cluster).run(alltoallw_program(cluster, wl, AlltoallwSchedule::Binned));
+    const auto rank_order = Simulator(cluster).run(
+        alltoallw_program(cluster, wl, AlltoallwSchedule::BinnedRankOrder));
+    // Rank 2 (the tiny peer) finishes far earlier when smalls go first.
+    EXPECT_LT(ordered.finish_us[2] * 10.0, rank_order.finish_us[2]);
+    // The overall makespan is dominated by the huge message either way.
+    EXPECT_NEAR(ordered.makespan_us, rank_order.makespan_us, ordered.makespan_us * 0.05);
+}
+
+TEST(PackModels, OrderingOfCosts) {
+    auto c = make_uniform_cluster(2);
+    const std::uint64_t bytes = 8 << 20;
+    const double block = 24.0;
+    const double none = pack_cost_us(c, PackModel::Contiguous, bytes, block);
+    const double hand = pack_cost_us(c, PackModel::HandTuned, bytes, block);
+    const double dual = pack_cost_us(c, PackModel::DualContext, bytes, block);
+    const double single = pack_cost_us(c, PackModel::SingleContext, bytes, block);
+    EXPECT_EQ(none, 0.0);
+    EXPECT_LT(hand, dual);    // no datatype machinery
+    EXPECT_LT(dual, single);  // no quadratic re-search
+    EXPECT_GT(single, 4.0 * dual);  // the quadratic term dominates at 8 MB
+}
+
+// ---------------------------------------------------------------------------
+// communicator-free DMDA decomposition
+
+TEST(DmdaStatic, DecomposeMatchesLiveInstance) {
+    const int nranks = 6;
+    rt::World w(nranks);
+    w.run([&](rt::Comm& c) {
+        DMDA da(c, 3, GridSize{12, 10, 8}, 1, 1, Stencil::Star);
+        const auto boxes = DMDA::decompose(nranks, 3, GridSize{12, 10, 8});
+        ASSERT_EQ(boxes.size(), static_cast<std::size_t>(nranks));
+        for (int r = 0; r < nranks; ++r) {
+            const GridBox live = da.owned_box_of(r);
+            const GridBox& pure = boxes[static_cast<std::size_t>(r)];
+            EXPECT_EQ(live.xs, pure.xs);
+            EXPECT_EQ(live.xm, pure.xm);
+            EXPECT_EQ(live.ys, pure.ys);
+            EXPECT_EQ(live.ym, pure.ym);
+            EXPECT_EQ(live.zs, pure.zs);
+            EXPECT_EQ(live.zm, pure.zm);
+        }
+    });
+}
+
+TEST(DmdaStatic, GhostTrafficMatchesLiveNeighbors) {
+    const int nranks = 8;
+    const GridSize g{10, 9, 8};
+    for (Stencil st : {Stencil::Star, Stencil::Box}) {
+        // Collect live per-rank neighbor traffic.
+        std::map<std::pair<int, int>, std::uint64_t> live;
+        std::mutex mu;
+        rt::World w(nranks);
+        w.run([&](rt::Comm& c) {
+            DMDA da(c, 3, g, 2, 1, st);
+            std::lock_guard<std::mutex> lk(mu);
+            for (const auto& nb : da.neighbors()) {
+                live[{c.rank(), nb.rank}] = nb.send_bytes;
+            }
+        });
+        // Compare with the pure-math version.
+        std::map<std::pair<int, int>, std::uint64_t> pure;
+        for (const auto& e : DMDA::ghost_traffic(nranks, 3, g, 2, 1, st)) {
+            pure[{e.src, e.dst}] += e.bytes;
+        }
+        EXPECT_EQ(live, pure) << (st == Stencil::Star ? "star" : "box");
+    }
+}
+
+TEST(DmdaStatic, GhostTrafficSymmetricInBytes) {
+    // Ghost exchange is symmetric pairwise: what r sends to s, s sends back
+    // (same slab shapes mirrored).
+    const auto traffic = DMDA::ghost_traffic(12, 3, GridSize{16, 12, 9}, 1, 1, Stencil::Box);
+    std::map<std::pair<int, int>, std::uint64_t> vol;
+    for (const auto& e : traffic) vol[{e.src, e.dst}] += e.bytes;
+    for (const auto& [key, v] : vol) {
+        auto rev = vol.find({key.second, key.first});
+        ASSERT_NE(rev, vol.end());
+        EXPECT_EQ(rev->second, v);
+    }
+}
+
+TEST(DmdaStatic, ZeroStencilWidthHasNoTraffic) {
+    EXPECT_TRUE(DMDA::ghost_traffic(8, 2, GridSize{8, 8, 1}, 1, 0, Stencil::Box).empty());
+}
+
+TEST(DmdaStatic, SingleRankHasNoTraffic) {
+    EXPECT_TRUE(DMDA::ghost_traffic(1, 3, GridSize{8, 8, 8}, 1, 1, Stencil::Box).empty());
+}
+
+}  // namespace
