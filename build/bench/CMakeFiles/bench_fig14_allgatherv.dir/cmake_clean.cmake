@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_allgatherv.dir/bench_fig14_allgatherv.cpp.o"
+  "CMakeFiles/bench_fig14_allgatherv.dir/bench_fig14_allgatherv.cpp.o.d"
+  "bench_fig14_allgatherv"
+  "bench_fig14_allgatherv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_allgatherv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_alltoallw.dir/bench_fig15_alltoallw.cpp.o"
+  "CMakeFiles/bench_fig15_alltoallw.dir/bench_fig15_alltoallw.cpp.o.d"
+  "bench_fig15_alltoallw"
+  "bench_fig15_alltoallw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_alltoallw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vecscatter.dir/bench_fig16_vecscatter.cpp.o"
+  "CMakeFiles/bench_fig16_vecscatter.dir/bench_fig16_vecscatter.cpp.o.d"
+  "bench_fig16_vecscatter"
+  "bench_fig16_vecscatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vecscatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

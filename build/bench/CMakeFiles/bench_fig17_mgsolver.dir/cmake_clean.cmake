@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mgsolver.dir/bench_fig17_mgsolver.cpp.o"
+  "CMakeFiles/bench_fig17_mgsolver.dir/bench_fig17_mgsolver.cpp.o.d"
+  "bench_fig17_mgsolver"
+  "bench_fig17_mgsolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mgsolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

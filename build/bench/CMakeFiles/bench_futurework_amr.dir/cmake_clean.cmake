@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_futurework_amr.dir/bench_futurework_amr.cpp.o"
+  "CMakeFiles/bench_futurework_amr.dir/bench_futurework_amr.cpp.o.d"
+  "bench_futurework_amr"
+  "bench_futurework_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_futurework_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_engines.dir/bench_micro_engines.cpp.o"
+  "CMakeFiles/bench_micro_engines.dir/bench_micro_engines.cpp.o.d"
+  "bench_micro_engines"
+  "bench_micro_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kselect.dir/bench_micro_kselect.cpp.o"
+  "CMakeFiles/bench_micro_kselect.dir/bench_micro_kselect.cpp.o.d"
+  "bench_micro_kselect"
+  "bench_micro_kselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bratu_newton.dir/bratu_newton.cpp.o"
+  "CMakeFiles/bratu_newton.dir/bratu_newton.cpp.o.d"
+  "bratu_newton"
+  "bratu_newton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bratu_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghost_exchange.dir/ghost_exchange.cpp.o"
+  "CMakeFiles/ghost_exchange.dir/ghost_exchange.cpp.o.d"
+  "ghost_exchange"
+  "ghost_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghost_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heat_equation.cpp" "examples/CMakeFiles/heat_equation.dir/heat_equation.cpp.o" "gcc" "examples/CMakeFiles/heat_equation.dir/heat_equation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/petsckit/CMakeFiles/nncomm_petsckit.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/nncomm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nncomm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/datatype/CMakeFiles/nncomm_datatype.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nncomm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

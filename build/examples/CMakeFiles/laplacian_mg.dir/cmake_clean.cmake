@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian_mg.dir/laplacian_mg.cpp.o"
+  "CMakeFiles/laplacian_mg.dir/laplacian_mg.cpp.o.d"
+  "laplacian_mg"
+  "laplacian_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_scatter.dir/vector_scatter.cpp.o"
+  "CMakeFiles/vector_scatter.dir/vector_scatter.cpp.o.d"
+  "vector_scatter"
+  "vector_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_coll.dir/allgatherv.cpp.o"
+  "CMakeFiles/nncomm_coll.dir/allgatherv.cpp.o.d"
+  "CMakeFiles/nncomm_coll.dir/alltoallw.cpp.o"
+  "CMakeFiles/nncomm_coll.dir/alltoallw.cpp.o.d"
+  "CMakeFiles/nncomm_coll.dir/basic.cpp.o"
+  "CMakeFiles/nncomm_coll.dir/basic.cpp.o.d"
+  "libnncomm_coll.a"
+  "libnncomm_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_core.dir/outlier.cpp.o"
+  "CMakeFiles/nncomm_core.dir/outlier.cpp.o.d"
+  "libnncomm_core.a"
+  "libnncomm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_datatype.dir/datatype.cpp.o"
+  "CMakeFiles/nncomm_datatype.dir/datatype.cpp.o.d"
+  "CMakeFiles/nncomm_datatype.dir/engine.cpp.o"
+  "CMakeFiles/nncomm_datatype.dir/engine.cpp.o.d"
+  "libnncomm_datatype.a"
+  "libnncomm_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnncomm_datatype.a"
+)

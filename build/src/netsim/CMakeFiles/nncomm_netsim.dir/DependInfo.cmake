@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/model.cpp" "src/netsim/CMakeFiles/nncomm_netsim.dir/model.cpp.o" "gcc" "src/netsim/CMakeFiles/nncomm_netsim.dir/model.cpp.o.d"
+  "/root/repo/src/netsim/programs.cpp" "src/netsim/CMakeFiles/nncomm_netsim.dir/programs.cpp.o" "gcc" "src/netsim/CMakeFiles/nncomm_netsim.dir/programs.cpp.o.d"
+  "/root/repo/src/netsim/sim.cpp" "src/netsim/CMakeFiles/nncomm_netsim.dir/sim.cpp.o" "gcc" "src/netsim/CMakeFiles/nncomm_netsim.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nncomm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_netsim.dir/model.cpp.o"
+  "CMakeFiles/nncomm_netsim.dir/model.cpp.o.d"
+  "CMakeFiles/nncomm_netsim.dir/programs.cpp.o"
+  "CMakeFiles/nncomm_netsim.dir/programs.cpp.o.d"
+  "CMakeFiles/nncomm_netsim.dir/sim.cpp.o"
+  "CMakeFiles/nncomm_netsim.dir/sim.cpp.o.d"
+  "libnncomm_netsim.a"
+  "libnncomm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

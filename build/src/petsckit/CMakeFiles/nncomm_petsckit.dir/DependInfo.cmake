@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petsckit/advection.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/advection.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/advection.cpp.o.d"
+  "/root/repo/src/petsckit/bratu.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/bratu.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/bratu.cpp.o.d"
+  "/root/repo/src/petsckit/dmda.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/dmda.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/dmda.cpp.o.d"
+  "/root/repo/src/petsckit/ksp.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/ksp.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/ksp.cpp.o.d"
+  "/root/repo/src/petsckit/laplacian.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/laplacian.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/laplacian.cpp.o.d"
+  "/root/repo/src/petsckit/mat.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/mat.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/mat.cpp.o.d"
+  "/root/repo/src/petsckit/mg.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/mg.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/mg.cpp.o.d"
+  "/root/repo/src/petsckit/patch.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/patch.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/patch.cpp.o.d"
+  "/root/repo/src/petsckit/scatter.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/scatter.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/scatter.cpp.o.d"
+  "/root/repo/src/petsckit/snes.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/snes.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/snes.cpp.o.d"
+  "/root/repo/src/petsckit/ts.cpp" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/ts.cpp.o" "gcc" "src/petsckit/CMakeFiles/nncomm_petsckit.dir/ts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/nncomm_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/nncomm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/datatype/CMakeFiles/nncomm_datatype.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nncomm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_petsckit.dir/advection.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/advection.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/bratu.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/bratu.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/dmda.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/dmda.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/ksp.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/ksp.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/laplacian.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/laplacian.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/mat.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/mat.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/mg.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/mg.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/patch.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/patch.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/scatter.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/scatter.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/snes.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/snes.cpp.o.d"
+  "CMakeFiles/nncomm_petsckit.dir/ts.cpp.o"
+  "CMakeFiles/nncomm_petsckit.dir/ts.cpp.o.d"
+  "libnncomm_petsckit.a"
+  "libnncomm_petsckit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_petsckit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nncomm_petsckit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nncomm_runtime.dir/comm.cpp.o"
+  "CMakeFiles/nncomm_runtime.dir/comm.cpp.o.d"
+  "libnncomm_runtime.a"
+  "libnncomm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nncomm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmda.dir/test_dmda.cpp.o"
+  "CMakeFiles/test_dmda.dir/test_dmda.cpp.o.d"
+  "test_dmda"
+  "test_dmda.pdb"
+  "test_dmda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

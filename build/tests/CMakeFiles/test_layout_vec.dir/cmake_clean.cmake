@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_vec.dir/test_layout_vec.cpp.o"
+  "CMakeFiles/test_layout_vec.dir/test_layout_vec.cpp.o.d"
+  "test_layout_vec"
+  "test_layout_vec.pdb"
+  "test_layout_vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mat_ksp.dir/test_mat_ksp.cpp.o"
+  "CMakeFiles/test_mat_ksp.dir/test_mat_ksp.cpp.o.d"
+  "test_mat_ksp"
+  "test_mat_ksp.pdb"
+  "test_mat_ksp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mat_ksp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg.dir/test_mg.cpp.o"
+  "CMakeFiles/test_mg.dir/test_mg.cpp.o.d"
+  "test_mg"
+  "test_mg.pdb"
+  "test_mg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

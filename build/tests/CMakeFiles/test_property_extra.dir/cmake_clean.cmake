@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_extra.dir/test_property_extra.cpp.o"
+  "CMakeFiles/test_property_extra.dir/test_property_extra.cpp.o.d"
+  "test_property_extra"
+  "test_property_extra.pdb"
+  "test_property_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simbridge.dir/test_simbridge.cpp.o"
+  "CMakeFiles/test_simbridge.dir/test_simbridge.cpp.o.d"
+  "test_simbridge"
+  "test_simbridge.pdb"
+  "test_simbridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simbridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

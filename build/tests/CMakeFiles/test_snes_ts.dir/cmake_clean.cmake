@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snes_ts.dir/test_snes_ts.cpp.o"
+  "CMakeFiles/test_snes_ts.dir/test_snes_ts.cpp.o.d"
+  "test_snes_ts"
+  "test_snes_ts.pdb"
+  "test_snes_ts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snes_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

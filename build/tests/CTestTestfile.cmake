@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_kselect[1]_include.cmake")
+include("/root/repo/build/tests/test_outlier[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_cursor[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_layout_vec[1]_include.cmake")
+include("/root/repo/build/tests/test_scatter[1]_include.cmake")
+include("/root/repo/build/tests/test_dmda[1]_include.cmake")
+include("/root/repo/build/tests/test_mat_ksp[1]_include.cmake")
+include("/root/repo/build/tests/test_mg[1]_include.cmake")
+include("/root/repo/build/tests/test_simbridge[1]_include.cmake")
+include("/root/repo/build/tests/test_snes_ts[1]_include.cmake")
+include("/root/repo/build/tests/test_property_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
