@@ -1,0 +1,173 @@
+#include "coll/persistent.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "datatype/pack.hpp"
+
+namespace nncomm::coll {
+
+namespace {
+/// Own tag space so persistent traffic can never match one-shot alltoallw
+/// messages in flight on the same communicator.
+constexpr int kPersistentTag = rt::kInternalTagBase + 0x300;
+}  // namespace
+
+AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
+                             std::span<const std::ptrdiff_t> sdispls,
+                             std::span<const dt::Datatype> sendtypes,
+                             std::span<const std::size_t> recvcounts,
+                             std::span<const std::ptrdiff_t> rdispls,
+                             std::span<const dt::Datatype> recvtypes, const CollConfig& config,
+                             dt::EngineKind engine)
+    : comm_(&comm), engine_kind_(engine), engine_config_(comm.engine_config()) {
+    const auto n = static_cast<std::size_t>(comm.size());
+    NNCOMM_CHECK_MSG(sendcounts.size() == n && sdispls.size() == n && sendtypes.size() == n &&
+                         recvcounts.size() == n && rdispls.size() == n && recvtypes.size() == n,
+                     "AlltoallwPlan: all argument arrays must have one entry per rank");
+    const int rank = comm.rank();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t svol =
+            static_cast<std::uint64_t>(sendcounts[i]) * sendtypes[i].size();
+        const std::uint64_t rvol =
+            static_cast<std::uint64_t>(recvcounts[i]) * recvtypes[i].size();
+        if (static_cast<int>(i) == rank) {
+            NNCOMM_CHECK_MSG(svol == rvol, "AlltoallwPlan: self send/recv volume mismatch");
+            if (svol > 0) {
+                has_self_ = true;
+                self_scount_ = sendcounts[i];
+                self_rcount_ = recvcounts[i];
+                self_sdispl_ = sdispls[i];
+                self_rdispl_ = rdispls[i];
+                self_stype_ = sendtypes[i];
+                self_rtype_ = recvtypes[i];
+                self_buf_.resize(static_cast<std::size_t>(svol));
+                ++pending_setup_.scratch_allocs;
+            }
+            continue;
+        }
+        if (svol > 0) {
+            SendPeer p;
+            p.rank = static_cast<int>(i);
+            p.count = sendcounts[i];
+            p.displ = sdispls[i];
+            p.type = sendtypes[i];
+            p.bytes = svol;
+            p.packbuf.resize(static_cast<std::size_t>(svol));
+            ++pending_setup_.scratch_allocs;
+            sends_.push_back(std::move(p));
+        }
+        if (rvol > 0) {
+            recvs_.push_back(RecvPeer{static_cast<int>(i), recvcounts[i], rdispls[i],
+                                      recvtypes[i]});
+        }
+    }
+
+    // The binned schedule, frozen at plan time: zero-volume peers never
+    // made it into sends_; the rest go smallest volume first so cheap
+    // peers are not delayed behind expensive noncontiguous packing, with
+    // the small/large boundary ordered exactly as the one-shot binned
+    // algorithm orders it.
+    const std::uint64_t small = config.small_msg_threshold;
+    std::sort(sends_.begin(), sends_.end(), [small](const SendPeer& a, const SendPeer& b) {
+        const bool as = a.bytes < small, bs = b.bytes < small;
+        if (as != bs) return as;
+        return a.bytes < b.bytes || (a.bytes == b.bytes && a.rank < b.rank);
+    });
+
+    recv_reqs_.reserve(recvs_.size());
+}
+
+AlltoallwPlan::~AlltoallwPlan() = default;
+
+void AlltoallwPlan::pack_peer(SendPeer& p, const std::byte* base, StatCounters& step,
+                              PhaseTimers& step_timers) {
+    const dt::PackPlan& plan = p.type.plan();
+    if (plan.specialized()) {
+        // Contiguous / constant-stride layouts: the compiled kernel writes
+        // the persistent buffer directly — no engine, no scratch.
+        PhaseScope scope(step_timers, Phase::Pack);
+        plan.pack(p.type.flat(), base + p.displ, p.count, std::span<std::byte>(p.packbuf));
+        ++step.plan_hits;
+        step.bytes_packed += p.bytes;
+        return;
+    }
+
+    // Irregular layout: a persistent engine, constructed on the first
+    // execute and reset (not rebuilt) afterwards.
+    if (!p.engine) {
+        p.engine = dt::make_engine(engine_kind_, base + p.displ, p.type, p.count,
+                                   engine_config_);
+    } else {
+        p.engine->reset(base + p.displ);
+    }
+    std::size_t off = 0;
+    dt::ChunkView chunk;
+    while (p.engine->next_chunk(chunk)) {
+        if (chunk.dense) {
+            PhaseScope scope(step_timers, Phase::Pack);
+            for (const auto& [ptr, len] : chunk.iov) {
+                std::memcpy(p.packbuf.data() + off, ptr, len);
+                off += len;
+            }
+        } else {
+            std::memcpy(p.packbuf.data() + off, chunk.packed.data(), chunk.packed.size());
+            off += chunk.packed.size();
+        }
+    }
+    NNCOMM_CHECK(off == p.packbuf.size());
+    step += p.engine->counters();
+    step_timers += p.engine->timers();
+    p.engine->reset_stats();
+}
+
+void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
+    // Engine-config changes between executes invalidate the persistent
+    // engines (their scratch sizing depends on the pipeline chunk); treat
+    // it as a re-plan of the engines only.
+    if (!(comm_->engine_config() == engine_config_)) {
+        engine_config_ = comm_->engine_config();
+        for (SendPeer& p : sends_) p.engine.reset();
+    }
+
+    StatCounters step = pending_setup_;
+    pending_setup_ = StatCounters{};
+    PhaseTimers step_timers;
+    ++step.persistent_executes;
+
+    // Post all receives up front. Messages arrive as packed bytes; the
+    // typed receive unpacks them through the layout's compiled plan (or
+    // the cursor for irregular layouts) in Comm::wait.
+    recv_reqs_.clear();
+    for (const RecvPeer& p : recvs_) {
+        recv_reqs_.push_back(comm_->irecv_i(static_cast<std::byte*>(recvbuf) + p.displ,
+                                            p.count, p.type, p.rank, kPersistentTag));
+    }
+
+    // Self exchange through the persistent staging buffer.
+    if (has_self_) {
+        PhaseScope scope(step_timers, Phase::Pack);
+        dt::pack_into(static_cast<const std::byte*>(sendbuf) + self_sdispl_, self_stype_,
+                      self_scount_, std::span<std::byte>(self_buf_));
+        dt::unpack_from(static_cast<std::byte*>(recvbuf) + self_rdispl_, self_rtype_,
+                        self_rcount_, std::span<const std::byte>(self_buf_));
+    }
+
+    // Sends in the precomputed binned order. The wire sees contiguous
+    // bytes, so the runtime's send path is a single copy — every per-send
+    // engine construction the one-shot path would perform is gone.
+    for (SendPeer& p : sends_) {
+        pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
+        comm_->send_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
+                      dt::Datatype::byte(), p.rank, kPersistentTag);
+    }
+
+    comm_->waitall(recv_reqs_);
+
+    counters_ += step;
+    comm_->merge_stats(step, step_timers);
+    ++executes_;
+}
+
+}  // namespace nncomm::coll

@@ -1,0 +1,116 @@
+// Persistent Alltoallw plans (MPI_Alltoallw_init in spirit).
+//
+// The one-shot coll::alltoallw rebuilds everything on every call: a fresh
+// pack engine (and its scratch buffer) per noncontiguous peer, the binning
+// of peers by volume, the receive-request vector. For the repeated-scatter
+// pattern the paper measures (§5.4 — the same VecScatter executed every
+// solver iteration), all of that is loop-invariant. An AlltoallwPlan hoists
+// it out of the loop:
+//
+//   - the binned send schedule (zero-volume peers exempted, small volumes
+//     before large) is computed once at plan time,
+//   - each send peer owns a persistent pack buffer and — for layouts whose
+//     compiled PackPlan is not specialized — a persistent pack engine that
+//     is reset(), never reconstructed, on each execute,
+//   - specialized layouts (contiguous / constant-stride) pack straight into
+//     the persistent buffer through the plan kernels, no engine at all,
+//   - packed messages go on the wire as plain bytes, so the runtime's send
+//     path never builds a per-send engine either,
+//   - the receive-request vector and the self-copy staging buffer are
+//     reused across executes.
+//
+// Steady state (every execute after the first) therefore performs no
+// engine constructions and no scratch allocations — which is exactly what
+// the engine_builds / scratch_allocs counters folded into the Comm prove.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/collectives.hpp"
+#include "datatype/engine.hpp"
+
+namespace nncomm::coll {
+
+/// Persistent plan for one fixed Alltoallw shape (counts, displacements and
+/// types per peer). Buffers may differ between execute() calls; the shape
+/// may not. Owned and used by a single rank thread (like Comm itself).
+class AlltoallwPlan {
+public:
+    /// Captures the shape, bins the peers and sizes all persistent
+    /// buffers. `engine` selects the pack engine used for peers whose
+    /// layout does not compile to a specialized plan kernel. The engine
+    /// configuration is taken from `comm` at every execute, so config
+    /// changes between executes rebuild the engines (and are counted).
+    AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
+                  std::span<const std::ptrdiff_t> sdispls,
+                  std::span<const dt::Datatype> sendtypes,
+                  std::span<const std::size_t> recvcounts,
+                  std::span<const std::ptrdiff_t> rdispls,
+                  std::span<const dt::Datatype> recvtypes, const CollConfig& config = {},
+                  dt::EngineKind engine = dt::EngineKind::DualContext);
+
+    ~AlltoallwPlan();
+
+    AlltoallwPlan(const AlltoallwPlan&) = delete;
+    AlltoallwPlan& operator=(const AlltoallwPlan&) = delete;
+
+    /// Runs the planned exchange with this call's buffers. Collective:
+    /// every rank of the communicator must execute its plan. Statistics
+    /// for the work done are folded into the Comm's counters/timers.
+    void execute(const void* sendbuf, void* recvbuf);
+
+    /// Cumulative statistics over all executes of this plan (the same
+    /// numbers folded into the Comm, but isolated from other traffic).
+    const StatCounters& counters() const { return counters_; }
+
+    std::size_t executes() const { return executes_; }
+    /// Peers this rank sends to / receives from (self excluded).
+    std::size_t send_peers() const { return sends_.size(); }
+    std::size_t recv_peers() const { return recvs_.size(); }
+
+private:
+    struct SendPeer {
+        int rank = -1;
+        std::size_t count = 0;
+        std::ptrdiff_t displ = 0;
+        dt::Datatype type;
+        std::uint64_t bytes = 0;
+        std::vector<std::byte> packbuf;          ///< persistent, sized once
+        std::unique_ptr<dt::PackEngine> engine;  ///< irregular layouts only
+    };
+    struct RecvPeer {
+        int rank = -1;
+        std::size_t count = 0;
+        std::ptrdiff_t displ = 0;
+        dt::Datatype type;
+    };
+
+    void pack_peer(SendPeer& p, const std::byte* base, StatCounters& step,
+                   PhaseTimers& step_timers);
+
+    rt::Comm* comm_ = nullptr;
+    dt::EngineKind engine_kind_;
+    dt::EngineConfig engine_config_;  ///< config the engines were built with
+
+    std::vector<SendPeer> sends_;  ///< binned order: small volumes first
+    std::vector<RecvPeer> recvs_;  ///< ascending rank
+
+    // Self exchange (rank -> itself), staged through a persistent buffer.
+    bool has_self_ = false;
+    std::size_t self_scount_ = 0, self_rcount_ = 0;
+    std::ptrdiff_t self_sdispl_ = 0, self_rdispl_ = 0;
+    dt::Datatype self_stype_, self_rtype_;
+    std::vector<std::byte> self_buf_;
+
+    std::vector<rt::Request> recv_reqs_;  ///< reused, capacity persists
+
+    StatCounters counters_;
+    StatCounters pending_setup_;  ///< plan-time allocs, folded into execute #1
+    std::size_t executes_ = 0;
+};
+
+}  // namespace nncomm::coll

@@ -92,6 +92,13 @@ struct StatCounters {
     std::uint64_t dense_chunks = 0;
     std::uint64_t sparse_chunks = 0;
 
+    // Pack-plan / persistence counters (plan.hpp, coll/persistent.hpp).
+    std::uint64_t plan_hits = 0;       ///< reuses of an already-compiled pack plan
+    std::uint64_t plan_compiles = 0;   ///< pack-plan compilations (cache misses)
+    std::uint64_t engine_builds = 0;   ///< PackEngine constructions
+    std::uint64_t scratch_allocs = 0;  ///< scratch/staging buffer (re)allocations
+    std::uint64_t persistent_executes = 0;  ///< persistent-plan execute() calls
+
     void reset() { *this = StatCounters{}; }
 
     StatCounters& operator+=(const StatCounters& o) {
@@ -103,6 +110,11 @@ struct StatCounters {
         lookahead_blocks += o.lookahead_blocks;
         dense_chunks += o.dense_chunks;
         sparse_chunks += o.sparse_chunks;
+        plan_hits += o.plan_hits;
+        plan_compiles += o.plan_compiles;
+        engine_builds += o.engine_builds;
+        scratch_allocs += o.scratch_allocs;
+        persistent_executes += o.persistent_executes;
         return *this;
     }
 };

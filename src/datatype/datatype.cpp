@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "datatype/flatten.hpp"
+#include "datatype/plan.hpp"
 
 namespace nncomm::dt {
 
@@ -34,6 +35,10 @@ struct TypeNode {
     // Flattened form, computed on demand exactly once.
     mutable std::once_flag flat_once;
     mutable std::unique_ptr<FlatType> flat;
+
+    // Compiled pack plan, resolved through the global PlanCache once.
+    mutable std::once_flag plan_once;
+    mutable std::shared_ptr<const PackPlan> plan;
 
     std::ptrdiff_t extent() const { return ub - lb; }
 };
@@ -185,6 +190,12 @@ const FlatType& Datatype::flat() const {
         n.flat = std::make_unique<FlatType>(b.take(), n.extent(), n.lb);
     });
     return *n.flat;
+}
+
+const PackPlan& Datatype::plan() const {
+    const TypeNode& n = *raw(*this);
+    std::call_once(n.plan_once, [&] { n.plan = PlanCache::instance().get(*this); });
+    return *n.plan;
 }
 
 // ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@
 namespace nncomm::dt {
 
 class FlatType;  // flatten.hpp
+class PackPlan;  // plan.hpp
 
 enum class TypeClass {
     Builtin,
@@ -107,6 +108,12 @@ public:
 
     /// Flattened block-stream form; computed once and cached on the node.
     const FlatType& flat() const;
+
+    /// Compiled pack plan (plan.hpp): kernel classification + specialized
+    /// copy parameters. Resolved through the process-wide PlanCache on
+    /// first use and memoized on the node, so repeated sends of the same
+    /// type pay no lookup and structurally equal types share one plan.
+    const PackPlan& plan() const;
 
     friend bool operator==(const Datatype& a, const Datatype& b) { return a.node_ == b.node_; }
 

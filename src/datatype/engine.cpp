@@ -13,15 +13,85 @@ PackEngine::PackEngine(const void* base, const Datatype& type, std::size_t count
     NNCOMM_CHECK_MSG(config.pipeline_chunk > 0, "pipeline chunk must be > 0");
     NNCOMM_CHECK_MSG(config.lookahead_blocks > 0, "look-ahead window must be > 0");
     total_bytes_ = static_cast<std::uint64_t>(type.size()) * count;
+    plan_ = &type_.plan();  // commit-time compile / cache lookup
+    ++counters_.engine_builds;
+    ++counters_.scratch_allocs;
     scratch_.resize(config.pipeline_chunk);
+}
+
+void PackEngine::reset(const void* base) {
+    base_ = static_cast<const std::byte*>(base);
+    bytes_done_ = 0;
+}
+
+bool PackEngine::plan_chunk(ChunkView& out) {
+    if (!config_.enable_plan_fastpath || !plan_->specialized()) return false;
+
+    const std::uint64_t budget64 =
+        std::min<std::uint64_t>(config_.pipeline_chunk, total_bytes_ - bytes_done_);
+    const std::size_t budget = static_cast<std::size_t>(budget64);
+
+    if (plan_->kernel() == PackKernel::Contiguous) {
+        // Adjacent instances tile memory densely: each chunk is one direct
+        // region, no look-ahead or classification needed.
+        ++counters_.dense_chunks;
+        ++counters_.plan_hits;
+        ++counters_.blocks_packed;
+        iov_.clear();
+        iov_.emplace_back(base_ + plan_->first_offset() +
+                              static_cast<std::ptrdiff_t>(bytes_done_),
+                          budget);
+        out.dense = true;
+        out.iov = std::span<const std::pair<const std::byte*, std::size_t>>(iov_.data(),
+                                                                            iov_.size());
+        out.packed = {};
+        out.bytes = budget;
+        bytes_done_ += budget;
+        return true;
+    }
+
+    // Strided: the dense/sparse decision is a property of the (fixed)
+    // block length, not of any particular chunk. Dense strided chunks
+    // still go through the engine's iov walk (the transport reads the
+    // regions either way); sparse ones dispatch to the fixed-size-memcpy
+    // strided kernel with O(1) positioning — no cursor, no look-ahead.
+    const std::size_t block_len = plan_->block_length();
+    if (static_cast<double>(block_len) >= config_.density_threshold) return false;
+
+    ++counters_.sparse_chunks;
+    ++counters_.plan_hits;
+    {
+        PhaseScope scope(timers_, Phase::Pack);
+        plan_->pack_range(type_.flat(), base_, count_, bytes_done_,
+                          std::span<std::byte>(scratch_.data(), budget));
+    }
+    counters_.bytes_packed += budget;
+    counters_.blocks_packed +=
+        (bytes_done_ % block_len + budget + block_len - 1) / block_len;
+    out.dense = false;
+    out.iov = {};
+    out.packed = std::span<const std::byte>(scratch_.data(), budget);
+    out.bytes = budget;
+    bytes_done_ += budget;
+    return true;
 }
 
 SingleContextEngine::SingleContextEngine(const void* base, const Datatype& type,
                                          std::size_t count, const EngineConfig& config)
     : PackEngine(base, type, count, config), cursor_(&type_.flat(), count_) {}
 
+void SingleContextEngine::reset(const void* base) {
+    PackEngine::reset(base);
+    cursor_.rewind();
+}
+
 bool SingleContextEngine::next_chunk(ChunkView& out) {
     if (finished()) return false;
+    // Specialized plans bypass the single-context machinery entirely —
+    // there is no context to lose when the position is O(1)-computable.
+    // The quadratic re-search below is only reachable (and measured) on
+    // irregular types, which is what the paper's workloads flatten to.
+    if (plan_chunk(out)) return true;
 
     const std::uint64_t chunk_start = bytes_done_;
     const std::uint64_t budget64 = std::min<std::uint64_t>(config_.pipeline_chunk,
@@ -91,8 +161,15 @@ DualContextEngine::DualContextEngine(const void* base, const Datatype& type, std
       pack_ctx_(&type_.flat(), count_),
       lookahead_ctx_(&type_.flat(), count_) {}
 
+void DualContextEngine::reset(const void* base) {
+    PackEngine::reset(base);
+    pack_ctx_.rewind();
+    lookahead_ctx_.rewind();
+}
+
 bool DualContextEngine::next_chunk(ChunkView& out) {
     if (finished()) return false;
+    if (plan_chunk(out)) return true;
 
     const std::uint64_t budget64 = std::min<std::uint64_t>(config_.pipeline_chunk,
                                                            total_bytes_ - bytes_done_);

@@ -29,6 +29,7 @@
 
 #include "core/counters.hpp"
 #include "datatype/cursor.hpp"
+#include "datatype/plan.hpp"
 
 namespace nncomm::dt {
 
@@ -51,6 +52,15 @@ struct EngineConfig {
     /// A chunk whose average contiguous-block length (bytes) is at least
     /// this is dense and is sent directly without packing.
     double density_threshold = 256.0;
+    /// When true (default) the engines dispatch chunks of types whose
+    /// compiled PackPlan is specialized (contiguous / constant-stride)
+    /// through the plan kernels instead of walking the cursor. Irregular
+    /// types always take the engine's own path — which is where the
+    /// baseline's quadratic re-search and the dual-context look-ahead
+    /// live, so the paper's measured behaviours are unaffected.
+    bool enable_plan_fastpath = true;
+
+    bool operator==(const EngineConfig&) const = default;
 };
 
 /// One pipeline chunk produced by an engine.
@@ -77,6 +87,12 @@ public:
     /// emitted. The returned views are invalidated by the next call.
     virtual bool next_chunk(ChunkView& out) = 0;
 
+    /// Rearms the engine for a fresh pass over `base` (same type, count and
+    /// config) without reallocating scratch or iov storage. Persistent
+    /// communication plans build their per-peer engines once and reset them
+    /// on every execute.
+    virtual void reset(const void* base);
+
     std::uint64_t total_bytes() const { return total_bytes_; }
     std::uint64_t bytes_done() const { return bytes_done_; }
     bool finished() const { return bytes_done_ == total_bytes_; }
@@ -85,11 +101,25 @@ public:
     const PhaseTimers& timers() const { return timers_; }
     PhaseTimers& timers() { return timers_; }
 
+    /// Zeroes the engine's counters and timers. Persistent plans harvest
+    /// the statistics after each drain and clear them so nothing is counted
+    /// twice across execute() calls.
+    void reset_stats() {
+        counters_.reset();
+        timers_.reset();
+    }
+
 protected:
+    /// Plan-kernel chunk dispatch shared by both engines. Returns true and
+    /// fills `out` when the type's compiled plan is specialized (and the
+    /// fast path is enabled); the caller then skips its cursor machinery.
+    bool plan_chunk(ChunkView& out);
+
     const std::byte* base_;
     Datatype type_;
     std::size_t count_;
     EngineConfig config_;
+    const PackPlan* plan_ = nullptr;  ///< owned by the type's node / PlanCache
     std::uint64_t total_bytes_ = 0;
     std::uint64_t bytes_done_ = 0;
     std::vector<std::byte> scratch_;  // intermediate pack buffer
@@ -104,6 +134,7 @@ public:
     SingleContextEngine(const void* base, const Datatype& type, std::size_t count,
                         const EngineConfig& config = {});
     bool next_chunk(ChunkView& out) override;
+    void reset(const void* base) override;
 
 private:
     TypeCursor cursor_;  ///< the single context
@@ -115,6 +146,7 @@ public:
     DualContextEngine(const void* base, const Datatype& type, std::size_t count,
                       const EngineConfig& config = {});
     bool next_chunk(ChunkView& out) override;
+    void reset(const void* base) override;
 
 private:
     TypeCursor pack_ctx_;       ///< context 2: actual packing, never lost

@@ -1,9 +1,15 @@
 // Reference pack/unpack between user buffers (described by datatypes) and
 // contiguous byte streams.
 //
-// These are straightforward cursor-driven copies with no look-ahead or
-// density decision; the runtime uses them on the receive side and the test
-// suite uses them as the ground truth the engines are validated against.
+// pack_bytes/unpack_bytes are straightforward cursor-driven copies with no
+// look-ahead or density decision; the test suite uses them as the ground
+// truth the engines AND the compiled plan kernels are validated against —
+// they deliberately never dispatch through a PackPlan.
+//
+// The whole-message entry points pack_all/unpack_all (used by the
+// collectives' typed self-copies and the runtime's receive side) fast-path
+// through the type's compiled plan when its kernel is specialized, falling
+// back to the cursor walk for irregular layouts.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +18,7 @@
 #include <vector>
 
 #include "datatype/cursor.hpp"
+#include "datatype/plan.hpp"
 
 namespace nncomm::dt {
 
@@ -46,24 +53,50 @@ inline std::size_t unpack_bytes(std::byte* base, TypeCursor& cur, std::span<cons
     return consumed;
 }
 
+/// Packs `count` instances of `type` at `base` into caller-owned storage
+/// (`out.size()` must be the full packed size), dispatching through the
+/// compiled plan kernel when one applies. Persistent communication plans
+/// use this to fill their reusable pack buffers without allocating.
+inline void pack_into(const void* base, const Datatype& type, std::size_t count,
+                      std::span<std::byte> out) {
+    NNCOMM_CHECK_MSG(out.size() == type.size() * count, "pack_into: size mismatch");
+    const PackPlan& plan = type.plan();
+    if (plan.specialized()) {
+        plan.pack(type.flat(), static_cast<const std::byte*>(base), count, out);
+        return;
+    }
+    TypeCursor cur(&type.flat(), count);
+    const std::size_t n = pack_bytes(static_cast<const std::byte*>(base), cur, out);
+    NNCOMM_CHECK(n == out.size());
+}
+
+/// Unpacks a full packed stream into `count` instances of `type` at `base`,
+/// dispatching through the compiled plan kernel when one applies.
+inline void unpack_from(void* base, const Datatype& type, std::size_t count,
+                        std::span<const std::byte> in) {
+    NNCOMM_CHECK_MSG(in.size() == type.size() * count, "unpack_from: size mismatch");
+    const PackPlan& plan = type.plan();
+    if (plan.specialized()) {
+        plan.unpack(type.flat(), static_cast<std::byte*>(base), count, in);
+        return;
+    }
+    TypeCursor cur(&type.flat(), count);
+    const std::size_t n = unpack_bytes(static_cast<std::byte*>(base), cur, in);
+    NNCOMM_CHECK(n == in.size());
+}
+
 /// Packs `count` instances of `type` at `base` into a fresh vector.
 inline std::vector<std::byte> pack_all(const void* base, const Datatype& type,
                                        std::size_t count) {
-    TypeCursor cur(&type.flat(), count);
-    std::vector<std::byte> out(cur.total_bytes());
-    const std::size_t n = pack_bytes(static_cast<const std::byte*>(base), cur,
-                                     std::span<std::byte>(out));
-    NNCOMM_CHECK(n == out.size());
+    std::vector<std::byte> out(type.size() * count);
+    pack_into(base, type, count, std::span<std::byte>(out));
     return out;
 }
 
-/// Unpacks a full packed stream into `count` instances of `type` at `base`.
+/// Vector-returning spelling kept for existing callers.
 inline void unpack_all(void* base, const Datatype& type, std::size_t count,
                        std::span<const std::byte> in) {
-    TypeCursor cur(&type.flat(), count);
-    NNCOMM_CHECK_MSG(in.size() == cur.total_bytes(), "unpack_all: size mismatch");
-    const std::size_t n = unpack_bytes(static_cast<std::byte*>(base), cur, in);
-    NNCOMM_CHECK(n == in.size());
+    unpack_from(base, type, count, in);
 }
 
 }  // namespace nncomm::dt

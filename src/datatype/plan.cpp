@@ -1,0 +1,380 @@
+#include "datatype/plan.hpp"
+
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "datatype/datatype.hpp"
+
+namespace nncomm::dt {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// fixed-size strided copy loops
+//
+// One memcpy call per block with a length known at compile time compiles to
+// a couple of mov instructions; the generic variable-length fallback keeps
+// the call. 4/8/16/32/64 cover the element sizes solver layouts produce
+// (float, double, 2-4 doubles per node).
+
+template <std::size_t N>
+void gather_fixed(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                  std::size_t nblocks) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(dst, src, N);
+        dst += N;
+        src += stride;
+    }
+}
+
+void gather_generic(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                    std::size_t len, std::size_t nblocks) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(dst, src, len);
+        dst += len;
+        src += stride;
+    }
+}
+
+void gather_blocks(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                   std::size_t len, std::size_t nblocks) {
+    switch (len) {
+        case 4: gather_fixed<4>(dst, src, stride, nblocks); break;
+        case 8: gather_fixed<8>(dst, src, stride, nblocks); break;
+        case 16: gather_fixed<16>(dst, src, stride, nblocks); break;
+        case 32: gather_fixed<32>(dst, src, stride, nblocks); break;
+        case 64: gather_fixed<64>(dst, src, stride, nblocks); break;
+        default: gather_generic(dst, src, stride, len, nblocks); break;
+    }
+}
+
+template <std::size_t N>
+void scatter_fixed(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                   std::size_t nblocks) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(dst, src, N);
+        dst += stride;
+        src += N;
+    }
+}
+
+void scatter_generic(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                     std::size_t len, std::size_t nblocks) {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::memcpy(dst, src, len);
+        dst += stride;
+        src += len;
+    }
+}
+
+void scatter_blocks(std::byte* dst, const std::byte* src, std::ptrdiff_t stride,
+                    std::size_t len, std::size_t nblocks) {
+    switch (len) {
+        case 4: scatter_fixed<4>(dst, src, stride, nblocks); break;
+        case 8: scatter_fixed<8>(dst, src, stride, nblocks); break;
+        case 16: scatter_fixed<16>(dst, src, stride, nblocks); break;
+        case 32: scatter_fixed<32>(dst, src, stride, nblocks); break;
+        case 64: scatter_fixed<64>(dst, src, stride, nblocks); break;
+        default: scatter_generic(dst, src, stride, len, nblocks); break;
+    }
+}
+
+std::uint64_t structural_signature(const FlatType& flat) {
+    // FNV-1a over the full flattened structure plus extent/lb. Two types
+    // with equal signatures and equal scalar summaries are treated as
+    // structurally identical by the cache.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(flat.extent()));
+    mix(static_cast<std::uint64_t>(flat.lb()));
+    mix(flat.block_count());
+    for (const FlatBlock& b : flat.blocks()) {
+        mix(static_cast<std::uint64_t>(b.offset));
+        mix(b.length);
+    }
+    return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// compilation
+
+PackPlan PackPlan::compile(const FlatType& flat) {
+    PackPlan p;
+    p.instance_size_ = flat.size();
+    p.extent_ = flat.extent();
+    p.signature_ = structural_signature(flat);
+
+    const auto& blocks = flat.blocks();
+    if (blocks.empty()) {
+        p.kernel_ = PackKernel::Contiguous;  // zero-size type: nothing to move
+        return p;
+    }
+    p.first_offset_ = blocks.front().offset;
+    p.blocks_per_instance_ = blocks.size();
+    p.block_len_ = blocks.front().length;
+
+    if (blocks.size() == 1 &&
+        static_cast<std::ptrdiff_t>(flat.size()) == flat.extent()) {
+        // Consecutive instances tile memory densely: the whole message is
+        // one run starting at first_offset_.
+        p.kernel_ = PackKernel::Contiguous;
+        return p;
+    }
+
+    // Vector pattern: every block the same length, block starts in
+    // arithmetic progression. (A single block per instance with
+    // size != extent is the degenerate count-strided case, stride unused.)
+    bool uniform = true;
+    for (const FlatBlock& b : blocks) {
+        if (b.length != p.block_len_) {
+            uniform = false;
+            break;
+        }
+    }
+    if (uniform) {
+        std::ptrdiff_t stride = 0;
+        bool arithmetic = true;
+        if (blocks.size() >= 2) {
+            stride = blocks[1].offset - blocks[0].offset;
+            for (std::size_t i = 2; i < blocks.size(); ++i) {
+                if (blocks[i].offset - blocks[i - 1].offset != stride) {
+                    arithmetic = false;
+                    break;
+                }
+            }
+        }
+        if (arithmetic) {
+            p.kernel_ = PackKernel::Strided;
+            p.stride_ = stride;
+            return p;
+        }
+    }
+
+    p.kernel_ = PackKernel::Irregular;
+    return p;
+}
+
+// ---------------------------------------------------------------------------
+// kernels
+
+void PackPlan::pack_range(const FlatType& flat, const std::byte* base, std::size_t count,
+                          std::uint64_t pos, std::span<std::byte> out) const {
+    std::size_t n = out.size();
+    if (n == 0) return;
+    NNCOMM_ASSERT(pos + n <= static_cast<std::uint64_t>(instance_size_) * count);
+    std::byte* dst = out.data();
+
+    switch (kernel_) {
+        case PackKernel::Contiguous:
+            std::memcpy(dst, base + first_offset_ + static_cast<std::ptrdiff_t>(pos), n);
+            return;
+        case PackKernel::Strided: {
+            const std::size_t L = block_len_;
+            const std::size_t B = blocks_per_instance_;
+            std::uint64_t blk = pos / L;
+            std::size_t r = static_cast<std::size_t>(pos % L);
+            std::uint64_t q = blk / B;
+            std::size_t j = static_cast<std::size_t>(blk % B);
+            while (n > 0) {
+                const std::byte* src = base + static_cast<std::ptrdiff_t>(q) * extent_ +
+                                       first_offset_ +
+                                       static_cast<std::ptrdiff_t>(j) * stride_;
+                if (r == 0 && n >= L) {
+                    const std::size_t run = std::min<std::size_t>(B - j, n / L);
+                    gather_blocks(dst, src, stride_, L, run);
+                    dst += run * L;
+                    n -= run * L;
+                    j += run;
+                } else {
+                    const std::size_t take = std::min(L - r, n);
+                    std::memcpy(dst, src + r, take);
+                    dst += take;
+                    n -= take;
+                    r += take;
+                    if (r < L) return;  // ended mid-block
+                    r = 0;
+                    ++j;
+                }
+                if (j == B) {
+                    j = 0;
+                    ++q;
+                }
+            }
+            return;
+        }
+        case PackKernel::Irregular: {
+            TypeCursor cur(&flat, count);
+            if (pos != 0) cur.seek_indexed(pos);
+            while (n > 0) {
+                const std::size_t rem = cur.current_block_remaining();
+                const std::size_t take = rem < n ? rem : n;
+                std::memcpy(dst, base + cur.current_offset(), take);
+                cur.advance(take);
+                dst += take;
+                n -= take;
+            }
+            return;
+        }
+    }
+}
+
+void PackPlan::unpack_range(const FlatType& flat, std::byte* base, std::size_t count,
+                            std::uint64_t pos, std::span<const std::byte> in) const {
+    std::size_t n = in.size();
+    if (n == 0) return;
+    NNCOMM_ASSERT(pos + n <= static_cast<std::uint64_t>(instance_size_) * count);
+    const std::byte* src = in.data();
+
+    switch (kernel_) {
+        case PackKernel::Contiguous:
+            std::memcpy(base + first_offset_ + static_cast<std::ptrdiff_t>(pos), src, n);
+            return;
+        case PackKernel::Strided: {
+            const std::size_t L = block_len_;
+            const std::size_t B = blocks_per_instance_;
+            std::uint64_t blk = pos / L;
+            std::size_t r = static_cast<std::size_t>(pos % L);
+            std::uint64_t q = blk / B;
+            std::size_t j = static_cast<std::size_t>(blk % B);
+            while (n > 0) {
+                std::byte* dst = base + static_cast<std::ptrdiff_t>(q) * extent_ +
+                                 first_offset_ + static_cast<std::ptrdiff_t>(j) * stride_;
+                if (r == 0 && n >= L) {
+                    const std::size_t run = std::min<std::size_t>(B - j, n / L);
+                    scatter_blocks(dst, src, stride_, L, run);
+                    src += run * L;
+                    n -= run * L;
+                    j += run;
+                } else {
+                    const std::size_t take = std::min(L - r, n);
+                    std::memcpy(dst + r, src, take);
+                    src += take;
+                    n -= take;
+                    r += take;
+                    if (r < L) return;
+                    r = 0;
+                    ++j;
+                }
+                if (j == B) {
+                    j = 0;
+                    ++q;
+                }
+            }
+            return;
+        }
+        case PackKernel::Irregular: {
+            TypeCursor cur(&flat, count);
+            if (pos != 0) cur.seek_indexed(pos);
+            while (n > 0) {
+                const std::size_t rem = cur.current_block_remaining();
+                const std::size_t take = rem < n ? rem : n;
+                std::memcpy(base + cur.current_offset(), src, take);
+                cur.advance(take);
+                src += take;
+                n -= take;
+            }
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+
+struct PlanCache::Impl {
+    struct Key {
+        std::uint64_t sig = 0;
+        std::size_t size = 0;
+        std::ptrdiff_t extent = 0;
+        std::size_t nblocks = 0;
+        bool operator==(const Key&) const = default;
+    };
+    struct Entry {
+        Key key;
+        std::shared_ptr<const PackPlan> plan;
+    };
+
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t capacity = kDefaultCapacity;
+    Stats st;
+
+    void evict_over_capacity() {
+        while (lru.size() > capacity) {
+            index.erase(lru.back().key.sig);
+            lru.pop_back();
+            ++st.evictions;
+        }
+    }
+};
+
+PlanCache& PlanCache::instance() {
+    static PlanCache cache;
+    return cache;
+}
+
+PlanCache::Impl& PlanCache::impl() const {
+    static Impl i;
+    return i;
+}
+
+std::shared_ptr<const PackPlan> PlanCache::get(const Datatype& type) {
+    const FlatType& flat = type.flat();
+    // Compile outside the lock; on a race the loser's compile is discarded.
+    auto plan = std::make_shared<const PackPlan>(PackPlan::compile(flat));
+    const Impl::Key key{plan->signature(), flat.size(), flat.extent(), flat.block_count()};
+
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    auto it = im.index.find(key.sig);
+    if (it != im.index.end() && it->second->key == key) {
+        ++im.st.hits;
+        im.lru.splice(im.lru.begin(), im.lru, it->second);
+        return im.lru.front().plan;
+    }
+    ++im.st.misses;
+    if (it != im.index.end()) {
+        // Signature collision with a structurally different type: replace.
+        im.lru.erase(it->second);
+        im.index.erase(it);
+    }
+    im.lru.push_front(Impl::Entry{key, plan});
+    im.index[key.sig] = im.lru.begin();
+    im.evict_over_capacity();
+    return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    Stats s = im.st;
+    s.entries = im.lru.size();
+    return s;
+}
+
+void PlanCache::reset() {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.lru.clear();
+    im.index.clear();
+    im.st = Stats{};
+}
+
+void PlanCache::set_capacity(std::size_t cap) {
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.capacity = cap == 0 ? 1 : cap;
+    im.evict_over_capacity();
+}
+
+}  // namespace nncomm::dt

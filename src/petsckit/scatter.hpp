@@ -21,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "coll/collectives.hpp"
+#include "coll/persistent.hpp"
 #include "petsckit/is.hpp"
 #include "petsckit/vec.hpp"
 
@@ -79,6 +81,22 @@ public:
     void execute_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
                          InsertMode insert = InsertMode::Insert) const;
 
+    /// Persistent-plan toggle for the DatatypeOptimized backend (default
+    /// on): the first execute in each direction compiles a persistent
+    /// coll::AlltoallwPlan (per-peer engines, pack buffers, binned
+    /// schedule) that later executes reuse allocation-free. Off forces
+    /// every execute down the one-shot alltoallw — the pre-persistence
+    /// path, kept for A/B benchmarking. The baseline backend is always
+    /// one-shot (it reproduces the paper's measured baseline).
+    void set_persistent(bool on) { persistent_ = on; }
+    bool persistent() const { return persistent_; }
+
+    /// The lazily built persistent plans (nullptr until the first
+    /// DatatypeOptimized execute in that direction). Exposes the
+    /// allocation/plan-hit counters tests and benches assert on.
+    const coll::AlltoallwPlan* forward_plan() const { return fwd_plan_.get(); }
+    const coll::AlltoallwPlan* reverse_plan() const { return rev_plan_.get(); }
+
     // -- introspection (benchmarks, netsim bridging) ----------------------------
     /// Bytes this rank sends to each peer (self transfer excluded).
     const std::vector<std::uint64_t>& send_bytes() const { return send_bytes_; }
@@ -94,11 +112,14 @@ private:
     };
 
     // Generic engine shared by both directions: moves data from the `from`
-    // plans/vector into the `to` plans/vector.
+    // plans/vector into the `to` plans/vector. `send_bufs`/`recv_bufs` are
+    // the direction's persistent staging buffers (sized on first use).
     void run_hand_tuned(const Vec& from, const std::vector<PeerPlan>& from_plans,
                         const std::vector<Index>& from_self, Vec& to,
                         const std::vector<PeerPlan>& to_plans,
-                        const std::vector<Index>& to_self, InsertMode insert) const;
+                        const std::vector<Index>& to_self, InsertMode insert,
+                        std::vector<std::vector<double>>& send_bufs,
+                        std::vector<std::vector<double>>& recv_bufs) const;
     void execute_datatype(const Vec& src, Vec& dst, coll::AlltoallwAlgo algo,
                           dt::EngineKind engine, ScatterMode mode) const;
 
@@ -116,6 +137,13 @@ private:
     std::vector<std::size_t> w_sendcounts_, w_recvcounts_;
     std::vector<std::ptrdiff_t> w_sdispls_, w_rdispls_;
     std::vector<dt::Datatype> w_sendtypes_, w_recvtypes_;
+
+    // Persistent state, built lazily on first use. Each rank thread owns
+    // its VecScatter (like its Comm), so mutable-without-locks is safe.
+    bool persistent_ = true;
+    mutable std::unique_ptr<coll::AlltoallwPlan> fwd_plan_, rev_plan_;
+    mutable std::vector<std::vector<double>> ht_fwd_send_, ht_fwd_recv_;
+    mutable std::vector<std::vector<double>> ht_rev_send_, ht_rev_recv_;
 };
 
 }  // namespace nncomm::pk

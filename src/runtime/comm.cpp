@@ -231,12 +231,21 @@ RecvStatus Comm::wait(Request& request) {
             PhaseScope scope(timers_, Phase::Comm);
             std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
         } else {
+            // Receive-side scatter: specialized plan kernels when the layout
+            // compiles to one, generic cursor walk otherwise.
             PhaseScope scope(timers_, Phase::Pack);
-            dt::TypeCursor cur(&flat, req.count);
-            const std::size_t n = dt::unpack_bytes(
-                static_cast<std::byte*>(req.buf), cur,
-                std::span<const std::byte>(req.env.payload.data(), req.env.payload.size()));
-            NNCOMM_CHECK(n == req.env.payload.size());
+            const std::span<const std::byte> payload(req.env.payload.data(),
+                                                     req.env.payload.size());
+            const dt::PackPlan& plan = req.type.plan();
+            if (plan.specialized()) {
+                ++counters_.plan_hits;
+                plan.unpack(flat, static_cast<std::byte*>(req.buf), req.count, payload);
+            } else {
+                dt::TypeCursor cur(&flat, req.count);
+                const std::size_t n =
+                    dt::unpack_bytes(static_cast<std::byte*>(req.buf), cur, payload);
+                NNCOMM_CHECK(n == req.env.payload.size());
+            }
         }
     }
     req.status.source = req.env.source;

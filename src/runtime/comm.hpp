@@ -146,6 +146,13 @@ public:
         timers_.reset();
         counters_.reset();
     }
+    /// Folds externally measured statistics into this communicator's
+    /// totals. Persistent collective plans drive their own pack engines
+    /// instead of the send path, then report what they did through here.
+    void merge_stats(const StatCounters& c, const PhaseTimers& t) {
+        counters_ += c;
+        timers_ += t;
+    }
 
 private:
     friend class World;

@@ -256,7 +256,15 @@ TEST(Runtime, BaselineEngineAccumulatesSearchCounters) {
         nncomm::dt::EngineConfig cfg;
         cfg.pipeline_chunk = 512;
         c.set_engine_config(cfg);
-        auto col = Datatype::vector(n * n, 1, 2, Datatype::float64());
+        // Irregular gaps (no constant stride): the layout cannot compile to
+        // a specialized pack plan, so the baseline engine's re-search path
+        // is actually exercised.
+        std::vector<std::size_t> lens(n * n, 1);
+        std::vector<std::ptrdiff_t> displs(n * n);
+        for (std::size_t i = 0; i < n * n; ++i) {
+            displs[i] = static_cast<std::ptrdiff_t>(2 * i + (i & 1)) * 8;
+        }
+        auto col = Datatype::hindexed(lens, displs, Datatype::float64());
         if (c.rank() == 0) {
             std::vector<double> m(2 * n * n + 2);
             c.send(m.data(), 1, col, 1, 0);
