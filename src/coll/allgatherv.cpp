@@ -18,6 +18,7 @@ struct GathervArgs {
     std::span<const std::size_t> recvcounts;
     std::span<const std::size_t> displs;
     const dt::Datatype* recvtype;
+    int tag_base;  ///< kTagBase shifted into this invocation's epoch lane
 };
 
 std::byte* block_ptr(const GathervArgs& a, int b) {
@@ -43,8 +44,8 @@ void allgatherv_ring(const GathervArgs& a) {
         const int send_block = (rank - s + n) % n;
         const int recv_block = (rank - s - 1 + n) % n;
         comm.sendrecv_i(block_ptr(a, send_block), block_count(a, send_block), *a.recvtype,
-                        right, kTagBase + s, block_ptr(a, recv_block),
-                        block_count(a, recv_block), *a.recvtype, left, kTagBase + s);
+                        right, a.tag_base + s, block_ptr(a, recv_block),
+                        block_count(a, recv_block), *a.recvtype, left, a.tag_base + s);
     }
 }
 
@@ -65,8 +66,8 @@ void allgatherv_recursive_doubling(const GathervArgs& a) {
             detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, my_first, mask);
         auto recv_type =
             detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, peer_first, mask);
-        comm.sendrecv_i(a.recvbuf, 1, send_type, partner, kTagBase + 0x40 + phase, a.recvbuf, 1,
-                        recv_type, partner, kTagBase + 0x40 + phase);
+        comm.sendrecv_i(a.recvbuf, 1, send_type, partner, a.tag_base + 0x40 + phase,
+                        a.recvbuf, 1, recv_type, partner, a.tag_base + 0x40 + phase);
     }
 }
 
@@ -86,8 +87,8 @@ void allgatherv_dissemination(const GathervArgs& a) {
             detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, rank - cnt + 1, cnt);
         auto recv_type = detail::block_range_type(a.recvcounts, a.displs, *a.recvtype,
                                                   rank - step - cnt + 1, cnt);
-        comm.sendrecv_i(a.recvbuf, 1, send_type, to, kTagBase + 0x80 + phase, a.recvbuf, 1,
-                        recv_type, from, kTagBase + 0x80 + phase);
+        comm.sendrecv_i(a.recvbuf, 1, send_type, to, a.tag_base + 0x80 + phase, a.recvbuf, 1,
+                        recv_type, from, a.tag_base + 0x80 + phase);
     }
 }
 
@@ -106,7 +107,12 @@ void allgatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
                          recvcounts[static_cast<std::size_t>(rank)] * recvtype.size(),
                      "allgatherv: send size differs from this rank's recv block");
 
-    GathervArgs a{&comm, recvbuf, recvcounts, displs, &recvtype};
+    // Phase tags are folded into this invocation's epoch lane so that
+    // back-to-back allgatherv calls can never alias under asynchronous or
+    // reordered delivery.
+    GathervArgs a{&comm,    recvbuf,
+                  recvcounts, displs,
+                  &recvtype, rt::epoch_tag(kTagBase, comm.next_collective_epoch())};
 
     // Place the local contribution first; every algorithm forwards out of
     // recvbuf.

@@ -22,9 +22,10 @@ void alltoallw_round_robin(rt::Comm& comm, const void* sendbuf,
                            std::span<const dt::Datatype> sendtypes, void* recvbuf,
                            std::span<const std::size_t> recvcounts,
                            std::span<const std::ptrdiff_t> rdispls,
-                           std::span<const dt::Datatype> recvtypes) {
+                           std::span<const dt::Datatype> recvtypes, int epoch) {
     const int n = comm.size();
     const int rank = comm.rank();
+    const int tag_base = rt::epoch_tag(kTagBase, epoch);
     for (int i = 0; i < n; ++i) {
         const int dst = (rank + i) % n;
         const int src = (rank - i + n) % n;
@@ -37,8 +38,8 @@ void alltoallw_round_robin(rt::Comm& comm, const void* sendbuf,
                                recvtypes[s]);
             continue;
         }
-        comm.sendrecv_i(sp, sendcounts[d], sendtypes[d], dst, kTagBase + i, rp, recvcounts[s],
-                        recvtypes[s], src, kTagBase + i);
+        comm.sendrecv_i(sp, sendcounts[d], sendtypes[d], dst, tag_base + i, rp, recvcounts[s],
+                        recvtypes[s], src, tag_base + i);
     }
 }
 
@@ -53,9 +54,14 @@ void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
                       std::span<const dt::Datatype> sendtypes, void* recvbuf,
                       std::span<const std::size_t> recvcounts,
                       std::span<const std::ptrdiff_t> rdispls,
-                      std::span<const dt::Datatype> recvtypes, const CollConfig& config) {
+                      std::span<const dt::Datatype> recvtypes, const CollConfig& config,
+                      int epoch) {
     const int n = comm.size();
     const int rank = comm.rank();
+    // One tag per invocation: sends are fire-and-forget nonblocking, so a
+    // straggler from a previous binned call can still be in flight when the
+    // next call posts its receives — the epoch keeps them from aliasing.
+    const int tag = rt::epoch_tag(kTagBase + 0x80, epoch);
 
     // Post all nonzero receives up front.
     std::vector<rt::Request> recv_reqs;
@@ -65,8 +71,7 @@ void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
         const auto s = static_cast<std::size_t>(src);
         if (recvcounts[s] * recvtypes[s].size() == 0) continue;
         std::byte* rp = static_cast<std::byte*>(recvbuf) + rdispls[s];
-        recv_reqs.push_back(
-            comm.irecv_i(rp, recvcounts[s], recvtypes[s], src, kTagBase + 0x80));
+        recv_reqs.push_back(comm.irecv_i(rp, recvcounts[s], recvtypes[s], src, tag));
     }
 
     // Local exchange.
@@ -106,7 +111,7 @@ void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
         for (const Peer& p : bin) {
             const auto d = static_cast<std::size_t>(p.rank);
             comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
-                         sendtypes[d], p.rank, kTagBase + 0x80);
+                         sendtypes[d], p.rank, tag);
         }
     }
 
@@ -125,15 +130,16 @@ void alltoallw(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t>
                          recvcounts.size() == n && rdispls.size() == n && recvtypes.size() == n,
                      "alltoallw: all argument arrays must have one entry per rank");
 
+    const int epoch = comm.next_collective_epoch();
     const AlltoallwAlgo algo = (config.alltoallw_algo == AlltoallwAlgo::Auto)
                                    ? AlltoallwAlgo::Binned
                                    : config.alltoallw_algo;
     if (algo == AlltoallwAlgo::RoundRobin) {
         alltoallw_round_robin(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf,
-                              recvcounts, rdispls, recvtypes);
+                              recvcounts, rdispls, recvtypes, epoch);
     } else {
         alltoallw_binned(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf, recvcounts,
-                         rdispls, recvtypes, config);
+                         rdispls, recvtypes, config, epoch);
     }
 }
 

@@ -11,6 +11,7 @@ constexpr int kTagScatter = rt::kInternalTagBase + 0x302;
 }  // namespace
 
 void bcast(rt::Comm& comm, void* buf, std::size_t count, const dt::Datatype& type, int root) {
+    const int tag = rt::epoch_tag(kTagBcast, comm.next_collective_epoch());
     const int n = comm.size();
     const int rank = comm.rank();
     NNCOMM_CHECK_MSG(root >= 0 && root < n, "bcast: invalid root");
@@ -23,7 +24,7 @@ void bcast(rt::Comm& comm, void* buf, std::size_t count, const dt::Datatype& typ
     while (mask < n) {
         if ((vrank & mask) != 0) {
             const int src = ((vrank - mask) + root) % n;
-            comm.recv_i(buf, count, type, src, kTagBcast);
+            comm.recv_i(buf, count, type, src, tag);
             break;
         }
         mask <<= 1;
@@ -32,7 +33,7 @@ void bcast(rt::Comm& comm, void* buf, std::size_t count, const dt::Datatype& typ
     while (mask > 0) {
         if (vrank + mask < n) {
             const int dst = ((vrank + mask) + root) % n;
-            comm.send_i(buf, count, type, dst, kTagBcast);
+            comm.send_i(buf, count, type, dst, tag);
         }
         mask >>= 1;
     }
@@ -42,11 +43,12 @@ void gatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
              const dt::Datatype& sendtype, void* recvbuf,
              std::span<const std::size_t> recvcounts, std::span<const std::size_t> displs,
              const dt::Datatype& recvtype, int root) {
+    const int tag = rt::epoch_tag(kTagGather, comm.next_collective_epoch());
     const int n = comm.size();
     const int rank = comm.rank();
     NNCOMM_CHECK_MSG(root >= 0 && root < n, "gatherv: invalid root");
     if (rank != root) {
-        comm.send_i(sendbuf, sendcount, sendtype, root, kTagGather);
+        comm.send_i(sendbuf, sendcount, sendtype, root, tag);
         return;
     }
     NNCOMM_CHECK_MSG(recvcounts.size() == static_cast<std::size_t>(n) &&
@@ -61,7 +63,7 @@ void gatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
         if (i == rank) {
             detail::copy_typed(sendbuf, sendcount, sendtype, dst, recvcounts[s], recvtype);
         } else {
-            reqs.push_back(comm.irecv_i(dst, recvcounts[s], recvtype, i, kTagGather));
+            reqs.push_back(comm.irecv_i(dst, recvcounts[s], recvtype, i, tag));
         }
     }
     comm.waitall(reqs);
@@ -84,11 +86,12 @@ void gather(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
 void scatterv(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> sendcounts,
               std::span<const std::size_t> displs, const dt::Datatype& sendtype, void* recvbuf,
               std::size_t recvcount, const dt::Datatype& recvtype, int root) {
+    const int tag = rt::epoch_tag(kTagScatter, comm.next_collective_epoch());
     const int n = comm.size();
     const int rank = comm.rank();
     NNCOMM_CHECK_MSG(root >= 0 && root < n, "scatterv: invalid root");
     if (rank != root) {
-        comm.recv_i(recvbuf, recvcount, recvtype, root, kTagScatter);
+        comm.recv_i(recvbuf, recvcount, recvtype, root, tag);
         return;
     }
     NNCOMM_CHECK_MSG(sendcounts.size() == static_cast<std::size_t>(n) &&
@@ -101,7 +104,7 @@ void scatterv(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> 
         if (i == rank) {
             detail::copy_typed(src, sendcounts[s], sendtype, recvbuf, recvcount, recvtype);
         } else {
-            comm.send_i(src, sendcounts[s], sendtype, i, kTagScatter);
+            comm.send_i(src, sendcounts[s], sendtype, i, tag);
         }
     }
 }

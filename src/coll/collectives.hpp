@@ -141,6 +141,7 @@ void apply_op(ReduceOp op, T* acc, const T* in, std::size_t n) {
 template <typename T>
 void reduce(rt::Comm& comm, T* data, std::size_t n, ReduceOp op, int root) {
     static_assert(std::is_arithmetic_v<T>);
+    const int tag = rt::epoch_tag(rt::kInternalTagBase + 1, comm.next_collective_epoch());
     const int size = comm.size();
     // Rotate ranks so the tree is rooted at `root`.
     const int vrank = (comm.rank() - root + size) % size;
@@ -149,15 +150,13 @@ void reduce(rt::Comm& comm, T* data, std::size_t n, ReduceOp op, int root) {
     while (mask < size) {
         if ((vrank & mask) != 0) {
             const int dst = ((vrank & ~mask) + root) % size;
-            comm.send_i(data, n * sizeof(T), dt::Datatype::byte(), dst,
-                        rt::kInternalTagBase + 1);
+            comm.send_i(data, n * sizeof(T), dt::Datatype::byte(), dst, tag);
             return;  // this rank's subtree is folded in; done
         }
         const int vsrc = vrank | mask;
         if (vsrc < size) {
             const int src = (vsrc + root) % size;
-            comm.recv_i(incoming.data(), n * sizeof(T), dt::Datatype::byte(), src,
-                        rt::kInternalTagBase + 1);
+            comm.recv_i(incoming.data(), n * sizeof(T), dt::Datatype::byte(), src, tag);
             detail::apply_op(op, data, incoming.data(), n);
         }
         mask <<= 1;
@@ -183,6 +182,7 @@ T allreduce_one(rt::Comm& comm, T value, ReduceOp op) {
 template <typename T>
 void scan(rt::Comm& comm, T* data, std::size_t n, ReduceOp op) {
     static_assert(std::is_arithmetic_v<T>);
+    const int tag_base = rt::epoch_tag(rt::kInternalTagBase + 0x400, comm.next_collective_epoch());
     const int size = comm.size();
     const int rank = comm.rank();
     std::vector<T> incoming(n);
@@ -191,11 +191,11 @@ void scan(rt::Comm& comm, T* data, std::size_t n, ReduceOp op) {
         // Send the current running value before folding this round's input.
         if (rank + dist < size) {
             comm.send_i(data, n * sizeof(T), dt::Datatype::byte(), rank + dist,
-                        rt::kInternalTagBase + 0x400 + round);
+                        tag_base + round);
         }
         if (rank >= dist) {
             comm.recv_i(incoming.data(), n * sizeof(T), dt::Datatype::byte(), rank - dist,
-                        rt::kInternalTagBase + 0x400 + round);
+                        tag_base + round);
             detail::apply_op(op, data, incoming.data(), n);
         }
     }
@@ -207,16 +207,15 @@ template <typename T>
 void exscan(rt::Comm& comm, T* data, std::size_t n, ReduceOp op, T identity = T{}) {
     scan(comm, data, n, op);
     // Shift the inclusive results one rank to the right.
+    const int tag = rt::epoch_tag(rt::kInternalTagBase + 0x420, comm.next_collective_epoch());
     const int rank = comm.rank();
     const int size = comm.size();
     std::vector<T> mine(data, data + n);
     if (rank + 1 < size) {
-        comm.send_i(mine.data(), n * sizeof(T), dt::Datatype::byte(), rank + 1,
-                    rt::kInternalTagBase + 0x420);
+        comm.send_i(mine.data(), n * sizeof(T), dt::Datatype::byte(), rank + 1, tag);
     }
     if (rank > 0) {
-        comm.recv_i(data, n * sizeof(T), dt::Datatype::byte(), rank - 1,
-                    rt::kInternalTagBase + 0x420);
+        comm.recv_i(data, n * sizeof(T), dt::Datatype::byte(), rank - 1, tag);
     } else {
         for (std::size_t i = 0; i < n; ++i) data[i] = identity;
     }

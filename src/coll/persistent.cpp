@@ -9,8 +9,9 @@ namespace nncomm::coll {
 
 namespace {
 /// Own tag space so persistent traffic can never match one-shot alltoallw
-/// messages in flight on the same communicator.
-constexpr int kPersistentTag = rt::kInternalTagBase + 0x300;
+/// messages in flight on the same communicator. (0x500: the previous 0x300
+/// base collided with bcast's tag.)
+constexpr int kPersistentTagBase = rt::kInternalTagBase + 0x500;
 }  // namespace
 
 AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
@@ -123,6 +124,11 @@ void AlltoallwPlan::pack_peer(SendPeer& p, const std::byte* base, StatCounters& 
 }
 
 void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
+    // One epoch lane per execute: sends below are fire-and-forget
+    // nonblocking, so a straggler from execute k can still be in flight
+    // when execute k+1 posts its receives.
+    const int tag = rt::epoch_tag(kPersistentTagBase, comm_->next_collective_epoch());
+
     // Engine-config changes between executes invalidate the persistent
     // engines (their scratch sizing depends on the pipeline chunk); treat
     // it as a re-plan of the engines only.
@@ -142,7 +148,7 @@ void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
     recv_reqs_.clear();
     for (const RecvPeer& p : recvs_) {
         recv_reqs_.push_back(comm_->irecv_i(static_cast<std::byte*>(recvbuf) + p.displ,
-                                            p.count, p.type, p.rank, kPersistentTag));
+                                            p.count, p.type, p.rank, tag));
     }
 
     // Self exchange through the persistent staging buffer.
@@ -156,11 +162,14 @@ void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
 
     // Sends in the precomputed binned order. The wire sees contiguous
     // bytes, so the runtime's send path is a single copy — every per-send
-    // engine construction the one-shot path would perform is gone.
+    // engine construction the one-shot path would perform is gone. The
+    // sends are nonblocking fire-and-forget (the payload is captured at
+    // enqueue, so the persistent packbuf is immediately reusable); only the
+    // receives gate completion.
     for (SendPeer& p : sends_) {
         pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
-        comm_->send_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
-                      dt::Datatype::byte(), p.rank, kPersistentTag);
+        comm_->isend_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
+                       dt::Datatype::byte(), p.rank, tag);
     }
 
     comm_->waitall(recv_reqs_);

@@ -12,13 +12,17 @@ namespace nncomm::coll::detail {
 
 /// Datatype-converting local copy (the MPI "self send"): packs the send
 /// layout and unpacks it into the receive layout. Sizes must agree.
+/// Src and dst may alias: the identical in-place case is a no-op, partially
+/// overlapping contiguous ranges go through memmove, and the noncontiguous
+/// path always stages through a pack buffer.
 inline void copy_typed(const void* src, std::size_t scount, const dt::Datatype& stype,
                        void* dst, std::size_t rcount, const dt::Datatype& rtype) {
     const std::size_t bytes = scount * stype.size();
     NNCOMM_CHECK_MSG(bytes == rcount * rtype.size(), "typed copy: size mismatch");
     if (bytes == 0) return;
     if (stype.flat().contiguous() && rtype.flat().contiguous()) {
-        std::memcpy(dst, src, bytes);
+        if (src == dst) return;
+        std::memmove(dst, src, bytes);
         return;
     }
     auto packed = dt::pack_all(src, stype, scount);

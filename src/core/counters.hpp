@@ -99,6 +99,15 @@ struct StatCounters {
     std::uint64_t scratch_allocs = 0;  ///< scratch/staging buffer (re)allocations
     std::uint64_t persistent_executes = 0;  ///< persistent-plan execute() calls
 
+    // Delivery-engine perturbation / fault-injection counters
+    // (runtime/schedule.hpp). Enqueue-side events are charged to the
+    // sending rank; delivery-side events to the rank driving progress.
+    std::uint64_t sched_pending_sends = 0;  ///< envelopes routed through the in-flight queue
+    std::uint64_t sched_deferrals = 0;      ///< envelopes assigned a nonzero defer budget
+    std::uint64_t sched_reorders = 0;       ///< injected same-pair FIFO violations
+    std::uint64_t sched_stalls = 0;         ///< injected sender stalls
+    std::uint64_t sched_wakeup_delays = 0;  ///< suppressed waiter notifications
+
     void reset() { *this = StatCounters{}; }
 
     StatCounters& operator+=(const StatCounters& o) {
@@ -115,6 +124,11 @@ struct StatCounters {
         engine_builds += o.engine_builds;
         scratch_allocs += o.scratch_allocs;
         persistent_executes += o.persistent_executes;
+        sched_pending_sends += o.sched_pending_sends;
+        sched_deferrals += o.sched_deferrals;
+        sched_reorders += o.sched_reorders;
+        sched_stalls += o.sched_stalls;
+        sched_wakeup_delays += o.sched_wakeup_delays;
         return *this;
     }
 };

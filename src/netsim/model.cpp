@@ -46,4 +46,15 @@ double pack_cost_single_us(const ClusterConfig& c, std::uint64_t bytes, double b
     return linear + searched_blocks * c.search_us_per_block;
 }
 
+rt::SchedulePolicy make_schedule(const ClusterConfig& c, std::uint64_t seed, int level) {
+    rt::SchedulePolicy p = rt::SchedulePolicy::perturb(seed, level);
+    p.use_latency_model = true;
+    p.latency_us = c.latency_us + c.overhead_us;
+    p.us_per_byte = c.us_per_byte;
+    // One defer pass per modeled wire latency: a full-latency message sits
+    // out one extra drain pass, a bandwidth-bound one proportionally more.
+    p.defer_quantum_us = c.latency_us > 0.0 ? c.latency_us : 1.0;
+    return p;
+}
+
 }  // namespace nncomm::sim

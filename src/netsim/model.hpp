@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "runtime/schedule.hpp"
 
 namespace nncomm::sim {
 
@@ -65,5 +66,12 @@ double pack_cost_dual_us(const ClusterConfig& c, std::uint64_t bytes, double blo
 /// (one re-search per pipeline chunk, each walking all blocks already
 /// packed).
 double pack_cost_single_us(const ClusterConfig& c, std::uint64_t bytes, double block_len);
+
+/// Routes the runtime's delivery engine through this cluster's latency
+/// model: rt::SchedulePolicy::perturb(seed, level) plus size-dependent
+/// defer passes derived from the cluster's per-message latency and
+/// per-byte time, so big messages sit in flight longer than small ones —
+/// the schedule shape the paper's nonuniform collectives actually face.
+rt::SchedulePolicy make_schedule(const ClusterConfig& c, std::uint64_t seed, int level = 2);
 
 }  // namespace nncomm::sim

@@ -1,14 +1,17 @@
 #include "runtime/comm.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "core/error.hpp"
+#include "core/rng.hpp"
 #include "datatype/pack.hpp"
 
 namespace nncomm::rt {
@@ -43,6 +46,10 @@ struct RequestState {
     bool matched = false;
     Envelope env;
 
+    // Send requests: set by the delivery engine (possibly from another
+    // rank's progress call) when the envelope reaches its mailbox.
+    std::atomic<bool> delivered{false};
+
     // Set by wait() after unpacking.
     bool complete = false;
     RecvStatus status;
@@ -55,11 +62,29 @@ struct Mailbox {
     std::deque<std::shared_ptr<RequestState>> posted;         // post order
 };
 
+/// A packed envelope waiting in the delivery engine's queue.
+struct InFlight {
+    Envelope env;
+    int dest = -1;
+    int defer = 0;  ///< progress passes this envelope may still be held
+    std::shared_ptr<RequestState> sender;  ///< completed on delivery (may be null)
+};
+
 struct WorldState {
     int nranks = 0;
     std::vector<std::unique_ptr<Mailbox>> boxes;
     std::atomic<bool> aborted{false};
     std::atomic<int> next_context{1};
+
+    SchedulePolicy policy;  ///< fixed for the duration of a run
+
+    // Delivery engine state. prog_mu is held across entire drain passes
+    // (including mailbox delivery) so concurrent drains cannot violate
+    // per-pair FIFO; lock order is always prog_mu -> box.mu, never reversed.
+    std::mutex prog_mu;
+    Rng rng;                     ///< guarded by prog_mu
+    std::deque<InFlight> inflight;  ///< guarded by prog_mu
+    std::atomic<std::uint64_t> inflight_count{0};
 
     void abort_all() {
         aborted.store(true, std::memory_order_release);
@@ -77,7 +102,10 @@ bool matches(const RequestState& req, const Envelope& env) {
            (req.tag == kAnyTag || req.tag == env.tag);
 }
 
-void deliver(WorldState& world, int dest, Envelope&& env) {
+/// Moves an envelope into its destination mailbox: match a posted receive
+/// or append to the unexpected queue. `notify == false` is the delayed-
+/// wakeup fault — waiters recover at their next timed re-poll.
+void deliver(WorldState& world, int dest, Envelope&& env, bool notify = true) {
     NNCOMM_CHECK_MSG(dest >= 0 && dest < world.nranks, "send to invalid rank");
     Mailbox& box = *world.boxes[static_cast<std::size_t>(dest)];
     std::lock_guard<std::mutex> lk(box.mu);
@@ -86,15 +114,64 @@ void deliver(WorldState& world, int dest, Envelope&& env) {
             (*it)->env = std::move(env);
             (*it)->matched = true;
             box.posted.erase(it);
-            box.cv.notify_all();
+            if (notify) box.cv.notify_all();
             return;
         }
     }
     box.unexpected.push_back(std::move(env));
-    box.cv.notify_all();  // wake probers
+    if (notify) box.cv.notify_all();  // wake probers
 }
 
 }  // namespace
+
+/// One drain pass of the delivery engine: delivers every in-flight envelope
+/// whose defer budget is exhausted, in queue order, skipping any envelope
+/// whose (source, dest) pair already had an earlier envelope held back this
+/// pass — deliveries interleave across distinct pairs but per-pair FIFO is
+/// exactly the queue order. Each pass decrements at least one defer budget
+/// when the queue is nonempty, so repeated passes always terminate.
+/// Perturbation events observed here are charged to the driving rank's
+/// counters. Returns the number of envelopes delivered.
+std::size_t progress_world(WorldState& world, StatCounters& counters) {
+    if (world.inflight_count.load(std::memory_order_acquire) == 0) return 0;
+    std::size_t delivered = 0;
+    std::lock_guard<std::mutex> lk(world.prog_mu);
+    std::vector<std::pair<int, int>> held;  // pairs with an earlier envelope still queued
+    held.reserve(8);
+    auto pair_held = [&](int src, int dst) {
+        for (const auto& p : held) {
+            if (p.first == src && p.second == dst) return true;
+        }
+        return false;
+    };
+    for (auto it = world.inflight.begin(); it != world.inflight.end();) {
+        const int src = it->env.source;
+        const int dst = it->dest;
+        if (pair_held(src, dst)) {
+            ++it;
+            continue;
+        }
+        if (it->defer > 0) {
+            --it->defer;
+            held.emplace_back(src, dst);
+            ++it;
+            continue;
+        }
+        InFlight f = std::move(*it);
+        it = world.inflight.erase(it);
+        world.inflight_count.fetch_sub(1, std::memory_order_release);
+        bool notify = true;
+        if (world.policy.wakeup_delay_prob > 0 &&
+            world.rng.bernoulli(world.policy.wakeup_delay_prob)) {
+            notify = false;
+            ++counters.sched_wakeup_delays;
+        }
+        deliver(world, dst, std::move(f.env), notify);
+        if (f.sender) f.sender->delivered.store(true, std::memory_order_release);
+        ++delivered;
+    }
+    return delivered;
+}
 
 }  // namespace detail
 
@@ -141,11 +218,18 @@ Request Comm::irecv(void* buf, std::size_t count, const dt::Datatype& type, int 
     return irecv_ctx(buf, count, type, source, tag, context_);
 }
 
-void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                    int tag, int context) {
+namespace {
+
+/// Packs `buf` into an envelope exactly as the eager path always has:
+/// contiguous layouts in one copy, noncontiguous layouts through the
+/// configured pipelined engine, with the same Comm/Pack/Search accounting.
+Envelope pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type, int tag,
+                       int context, int source, dt::EngineKind engine_kind,
+                       const dt::EngineConfig& engine_config, PhaseTimers& timers_,
+                       StatCounters& counters_) {
     NNCOMM_CHECK(type.valid());
     Envelope env;
-    env.source = rank_;
+    env.source = source;
     env.tag = tag;
     env.context = context;
 
@@ -162,7 +246,7 @@ void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type
         } else {
             // Noncontiguous: pipelined chunks through the configured engine.
             env.payload.resize(static_cast<std::size_t>(total));
-            auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
+            auto engine = dt::make_engine(engine_kind, buf, type, count, engine_config);
             std::size_t off = 0;
             dt::ChunkView chunk;
             while (engine->next_chunk(chunk)) {
@@ -185,9 +269,108 @@ void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type
             counters_ += engine->counters();
         }
     }
+    return env;
+}
 
-    PhaseScope scope(timers_, Phase::Comm);
-    detail::deliver(*world_, dest, std::move(env));
+}  // namespace
+
+std::size_t Comm::progress() {
+    if (!world_->policy.enabled) return 0;
+    return detail::progress_world(*world_, counters_);
+}
+
+void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                    int tag, int context) {
+    if (!world_->policy.enabled) {
+        // Eager fast path — identical to the unperturbed runtime: pack and
+        // hand straight to the destination mailbox, no request state.
+        Envelope env = pack_envelope(buf, count, type, tag, context, rank_, engine_kind_,
+                                     engine_config_, timers_, counters_);
+        PhaseScope scope(timers_, Phase::Comm);
+        detail::deliver(*world_, dest, std::move(env));
+        return;
+    }
+    Request r = isend_ctx(buf, count, type, dest, tag, context);
+    wait(r);
+}
+
+Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                        int tag, int context) {
+    NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
+    Envelope env = pack_envelope(buf, count, type, tag, context, rank_, engine_kind_,
+                                 engine_config_, timers_, counters_);
+    auto req = std::make_shared<RequestState>();
+    req->kind = RequestState::Kind::Send;
+    req->owner_rank = rank_;
+
+    const SchedulePolicy& pol = world_->policy;
+    if (!pol.enabled) {
+        // Buffered-eager: delivered inline, request born complete.
+        PhaseScope scope(timers_, Phase::Comm);
+        detail::deliver(*world_, dest, std::move(env));
+        req->delivered.store(true, std::memory_order_release);
+        req->complete = true;
+        return Request(std::move(req));
+    }
+
+    // Genuinely pending: enqueue on the delivery engine under the seeded
+    // schedule. All perturbation draws share the world RNG under prog_mu.
+    const std::uint64_t bytes = env.payload.size();
+    const bool internal = context >= detail::kInternalContextOffset;
+    int stall_spins = 0;
+    {
+        PhaseScope scope(timers_, Phase::Comm);
+        std::lock_guard<std::mutex> lk(world_->prog_mu);
+        Rng& rng = world_->rng;
+
+        detail::InFlight f;
+        f.env = std::move(env);
+        f.dest = dest;
+        f.sender = req;
+        if (pol.defer_prob > 0 && pol.max_defer > 0 && rng.bernoulli(pol.defer_prob)) {
+            f.defer = static_cast<int>(rng.uniform_u64(1, static_cast<std::uint64_t>(pol.max_defer)));
+        }
+        if (pol.use_latency_model) {
+            const double transit_us = pol.latency_us + static_cast<double>(bytes) * pol.us_per_byte;
+            const double quantum = pol.defer_quantum_us > 0 ? pol.defer_quantum_us : 1.0;
+            const double passes = transit_us / quantum;
+            f.defer += passes > 64.0 ? 64 : static_cast<int>(passes);
+        }
+        if (f.defer > 0) ++counters_.sched_deferrals;
+
+        // Bounded reordering fault: only internal-context (collective)
+        // traffic, which is epoch-tagged and must survive same-pair FIFO
+        // violations. User point-to-point ordering is never perturbed.
+        auto pos = world_->inflight.end();
+        if (internal && pol.reorder_prob > 0 && pol.max_reorder > 0 &&
+            rng.bernoulli(pol.reorder_prob)) {
+            const int jump =
+                static_cast<int>(rng.uniform_u64(1, static_cast<std::uint64_t>(pol.max_reorder)));
+            int overtaken = 0;
+            while (pos != world_->inflight.begin() && overtaken < jump) {
+                auto prev = std::prev(pos);
+                if (prev->env.source == rank_ && prev->dest == dest) {
+                    if (prev->env.context < detail::kInternalContextOffset) break;
+                    ++overtaken;
+                }
+                pos = prev;
+            }
+            if (overtaken > 0) ++counters_.sched_reorders;
+        }
+        world_->inflight.insert(pos, std::move(f));
+        world_->inflight_count.fetch_add(1, std::memory_order_release);
+        ++counters_.sched_pending_sends;
+
+        if (pol.stall_prob > 0 && pol.max_stall_spins > 0 && rng.bernoulli(pol.stall_prob)) {
+            stall_spins =
+                static_cast<int>(rng.uniform_u64(1, static_cast<std::uint64_t>(pol.max_stall_spins)));
+        }
+    }
+    if (stall_spins > 0) {
+        ++counters_.sched_stalls;
+        for (int i = 0; i < stall_spins; ++i) std::this_thread::yield();
+    }
+    return Request(std::move(req));
 }
 
 void Comm::send(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
@@ -197,29 +380,58 @@ void Comm::send(const void* buf, std::size_t count, const dt::Datatype& type, in
 
 Request Comm::isend(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                     int tag) {
-    // Buffered-eager: the payload is packed and delivered immediately, so
-    // the request is born complete. Packing order across isends is the call
-    // order — which is exactly what the binned Alltoallw exploits.
-    send(buf, count, type, dest, tag);
-    auto req = std::make_shared<RequestState>();
-    req->kind = RequestState::Kind::Send;
-    req->complete = true;
-    return Request(std::move(req));
+    return isend_ctx(buf, count, type, dest, tag, context_);
 }
 
 RecvStatus Comm::wait(Request& request) {
     NNCOMM_CHECK_MSG(request.valid(), "wait on null request");
     RequestState& req = *request.state_;
     if (req.complete) return req.status;
-    NNCOMM_CHECK(req.kind == RequestState::Kind::Recv);
+
+    if (req.kind == RequestState::Kind::Send) {
+        // Pending buffered send: complete when the envelope reaches the
+        // destination mailbox. This rank drives the delivery engine itself,
+        // so completion needs no cooperation from other ranks.
+        while (!req.delivered.load(std::memory_order_acquire)) {
+            if (progress() == 0) {
+                if (req.delivered.load(std::memory_order_acquire)) break;
+                if (world_->aborted.load(std::memory_order_acquire)) {
+                    throw AbortedError("runtime aborted while waiting for a send");
+                }
+                std::this_thread::yield();
+            }
+        }
+        req.complete = true;
+        return req.status;
+    }
 
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
-    {
+    if (!world_->policy.enabled) {
         std::unique_lock<std::mutex> lk(box.mu);
         box.cv.wait(lk, [&] {
             return req.matched || world_->aborted.load(std::memory_order_acquire);
         });
-        if (!req.matched) throw Error("runtime aborted while waiting for a message");
+        if (!req.matched) throw AbortedError("runtime aborted while waiting for a message");
+    } else {
+        // Perturbed schedule: this waiter must also drive the delivery
+        // engine, and re-polls on a timeout so suppressed notifications
+        // (the delayed-wakeup fault) self-heal. A matched request always
+        // completes, even when the world is already aborting — the message
+        // is here; consuming it cannot mask the root cause.
+        for (;;) {
+            const bool delivered_any = progress() > 0;
+            std::unique_lock<std::mutex> lk(box.mu);
+            if (req.matched) break;
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while waiting for a message");
+            }
+            if (!delivered_any) {
+                box.cv.wait_for(lk, std::chrono::microseconds(100), [&] {
+                    return req.matched || world_->aborted.load(std::memory_order_acquire);
+                });
+                if (req.matched) break;
+            }
+        }
     }
 
     // Unpack outside the lock; only this rank's thread touches req now.
@@ -291,11 +503,7 @@ RecvStatus Comm::recv_i(void* buf, std::size_t count, const dt::Datatype& type, 
 
 Request Comm::isend_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                       int tag) {
-    send_i(buf, count, type, dest, tag);
-    auto req = std::make_shared<RequestState>();
-    req->kind = RequestState::Kind::Send;
-    req->complete = true;
-    return Request(std::move(req));
+    return isend_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset);
 }
 
 Request Comm::irecv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
@@ -330,21 +538,41 @@ ProbeStatus scan_unexpected(Mailbox& box, int source, int tag, int context) {
 
 ProbeStatus Comm::probe(int source, int tag) {
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
-    std::unique_lock<std::mutex> lk(box.mu);
+    if (!world_->policy.enabled) {
+        std::unique_lock<std::mutex> lk(box.mu);
+        for (;;) {
+            ProbeStatus st = scan_unexpected(box, source, tag, context_);
+            if (st.found) return st;
+            box.cv.wait(lk, [&] {
+                return world_->aborted.load(std::memory_order_acquire) ||
+                       scan_unexpected(box, source, tag, context_).found;
+            });
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while probing");
+            }
+        }
+    }
+    // Perturbed schedule: drive delivery between scans and re-poll on a
+    // timeout (probes have no matched flag a notify could be tied to).
     for (;;) {
+        const bool delivered_any = progress() > 0;
+        std::unique_lock<std::mutex> lk(box.mu);
         ProbeStatus st = scan_unexpected(box, source, tag, context_);
         if (st.found) return st;
-        box.cv.wait(lk, [&] {
-            return world_->aborted.load(std::memory_order_acquire) ||
-                   scan_unexpected(box, source, tag, context_).found;
-        });
         if (world_->aborted.load(std::memory_order_acquire)) {
-            throw Error("runtime aborted while probing");
+            throw AbortedError("runtime aborted while probing");
+        }
+        if (!delivered_any) {
+            box.cv.wait_for(lk, std::chrono::microseconds(100), [&] {
+                return world_->aborted.load(std::memory_order_acquire) ||
+                       scan_unexpected(box, source, tag, context_).found;
+            });
         }
     }
 }
 
 ProbeStatus Comm::iprobe(int source, int tag) {
+    progress();  // an in-flight message "is there" once the engine can deliver it
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
     std::lock_guard<std::mutex> lk(box.mu);
     return scan_unexpected(box, source, tag, context_);
@@ -366,14 +594,17 @@ Comm Comm::dup() {
 
 void Comm::barrier() {
     // Dissemination barrier: ceil(log2 N) rounds of zero-byte exchanges on
-    // the internal context.
+    // the internal context. Epoch-tagged so a reordered straggler from one
+    // barrier can never satisfy a later one.
+    const int epoch = next_collective_epoch();
     const int n = size();
     const int ctx = context_ + detail::kInternalContextOffset;
+    const int tag = epoch_tag(kInternalTagBase, epoch);
     for (int k = 1; k < n; k <<= 1) {
         const int to = (rank_ + k) % n;
-        const int from = (rank_ - k % n + n) % n;
-        Request r = irecv_ctx(nullptr, 0, dt::Datatype::byte(), from, kInternalTagBase, ctx);
-        send_ctx(nullptr, 0, dt::Datatype::byte(), to, kInternalTagBase, ctx);
+        const int from = (rank_ - k + n) % n;
+        Request r = irecv_ctx(nullptr, 0, dt::Datatype::byte(), from, tag, ctx);
+        send_ctx(nullptr, 0, dt::Datatype::byte(), to, tag, ctx);
         wait(r);
     }
 }
@@ -390,6 +621,10 @@ World::World(int nranks) : nranks_(nranks), state_(std::make_unique<WorldState>(
 
 World::~World() = default;
 
+void World::set_schedule(const SchedulePolicy& policy) { state_->policy = policy; }
+
+const SchedulePolicy& World::schedule() const { return state_->policy; }
+
 void World::run(const std::function<void(Comm&)>& fn) {
     // Reset abort state and clear any residue from a previous run.
     state_->aborted.store(false);
@@ -398,28 +633,50 @@ void World::run(const std::function<void(Comm&)>& fn) {
         b->unexpected.clear();
         b->posted.clear();
     }
+    {
+        std::lock_guard<std::mutex> lk(state_->prog_mu);
+        state_->inflight.clear();
+        state_->inflight_count.store(0);
+        state_->rng.reseed(state_->policy.seed);
+    }
+    faulting_rank_ = -1;
 
+    // Root-cause error slot. A woken waiter's secondary AbortedError can
+    // race the originating exception here; the originating error always
+    // wins, whichever order the ranks arrive in.
     std::mutex err_mu;
     std::exception_ptr first_error;
+    int first_error_rank = -1;
+    bool first_error_secondary = false;
+    auto record = [&](std::exception_ptr e, int rank, bool secondary) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error || (first_error_secondary && !secondary)) {
+            first_error = std::move(e);
+            first_error_rank = rank;
+            first_error_secondary = secondary;
+        }
+    };
 
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks_));
     for (int r = 0; r < nranks_; ++r) {
-        threads.emplace_back([this, r, &fn, &err_mu, &first_error] {
+        threads.emplace_back([this, r, &fn, &record] {
             Comm comm(state_.get(), r, /*context=*/0);
             try {
                 fn(comm);
+            } catch (const AbortedError&) {
+                record(std::current_exception(), r, /*secondary=*/true);
             } catch (...) {
-                {
-                    std::lock_guard<std::mutex> lk(err_mu);
-                    if (!first_error) first_error = std::current_exception();
-                }
+                record(std::current_exception(), r, /*secondary=*/false);
                 state_->abort_all();
             }
         });
     }
     for (auto& t : threads) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) {
+        faulting_rank_ = first_error_rank;
+        std::rethrow_exception(first_error);
+    }
 }
 
 }  // namespace nncomm::rt

@@ -17,6 +17,13 @@
 // InfiniBand cluster: all algorithmic behaviour (matching, ordering,
 // packing, zero-byte synchronization) is real; only the wire is a
 // process-local queue.
+//
+// Delivery is eager by default, but under a World::set_schedule policy the
+// nonblocking sends become genuinely pending: packed envelopes sit on a
+// per-world in-flight queue drained by a delivery engine that
+// wait/waitall/probe/iprobe drive, with seeded schedule perturbation and
+// fault injection (runtime/schedule.hpp). That is how the test suite makes
+// latent message-matching bugs reachable.
 #pragma once
 
 #include <functional>
@@ -25,7 +32,9 @@
 #include <vector>
 
 #include "core/counters.hpp"
+#include "core/error.hpp"
 #include "datatype/engine.hpp"
+#include "runtime/schedule.hpp"
 
 namespace nncomm::rt {
 
@@ -33,6 +42,27 @@ inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 /// Tags >= kInternalTagBase are reserved for collective implementations.
 inline constexpr int kInternalTagBase = 1 << 24;
+
+/// Collective tag epochs: every collective invocation folds a
+/// per-communicator epoch ordinal into its tags so that back-to-back
+/// invocations on the same communicator can never alias once sends are
+/// genuinely asynchronous (or the fault injector reorders same-pair
+/// envelopes). Each collective keeps its base offset below kEpochTagStride;
+/// the epoch selects one of kEpochLanes disjoint tag lanes above it.
+inline constexpr int kEpochTagStride = 1 << 12;
+inline constexpr int kEpochLanes = 256;
+inline constexpr int epoch_tag(int base, int epoch) {
+    return base + (epoch & (kEpochLanes - 1)) * kEpochTagStride;
+}
+
+/// Secondary failure thrown by ranks that were blocked in a recv/probe/wait
+/// when another rank aborted the world. World::run records it only if no
+/// root-cause exception arrives, so the originating error always wins the
+/// rethrow.
+class AbortedError : public Error {
+public:
+    using Error::Error;
+};
 
 struct RecvStatus {
     int source = -1;
@@ -138,6 +168,14 @@ public:
         return recv(buf, n * sizeof(T), dt::Datatype::byte(), source, tag);
     }
 
+    // -- collective tag epochs -------------------------------------------------
+    /// Returns the next collective epoch ordinal for this communicator.
+    /// Every collective implementation (src/coll, barrier, persistent
+    /// plans) calls this exactly once per invocation, first thing, on every
+    /// rank — the call sequences match because collectives are collective —
+    /// and folds the result into its tags via epoch_tag().
+    int next_collective_epoch() { return collective_epoch_++; }
+
     // -- instrumentation -------------------------------------------------------
     const PhaseTimers& timers() const { return timers_; }
     PhaseTimers& timers() { return timers_; }
@@ -163,11 +201,17 @@ private:
                       int tag, int context);
     void send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                   int tag, int context);
+    Request isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                      int tag, int context);
+    /// Drains deliverable in-flight envelopes (no-op when the schedule
+    /// policy is off). Returns the number of envelopes delivered.
+    std::size_t progress();
 
     detail::WorldState* world_ = nullptr;
     int rank_ = -1;
     int context_ = 0;
     int dup_count_ = 0;  ///< children created from this communicator
+    int collective_epoch_ = 0;
     dt::EngineKind engine_kind_ = dt::EngineKind::DualContext;
     dt::EngineConfig engine_config_{};
     PhaseTimers timers_;
@@ -185,13 +229,25 @@ public:
 
     int size() const { return nranks_; }
 
+    /// Installs the delivery schedule used by subsequent run() calls. Must
+    /// not be called while a run is in progress. The default is
+    /// SchedulePolicy::none() — eager inline delivery.
+    void set_schedule(const SchedulePolicy& policy);
+    const SchedulePolicy& schedule() const;
+
     /// Runs fn(Comm&) on every rank concurrently and joins. If any rank
-    /// throws, all blocked operations are aborted and the first exception
-    /// is rethrown here.
+    /// throws, all blocked operations are aborted and the root-cause
+    /// exception is rethrown here: a real error always displaces the
+    /// secondary AbortedError a woken waiter throws, regardless of which
+    /// rank reaches the error slot first.
     void run(const std::function<void(Comm&)>& fn);
+
+    /// Rank whose exception the last run() rethrew (-1 if it succeeded).
+    int faulting_rank() const { return faulting_rank_; }
 
 private:
     int nranks_;
+    int faulting_rank_ = -1;
     std::unique_ptr<detail::WorldState> state_;
 };
 

@@ -1,0 +1,103 @@
+// Schedule perturbation and fault injection for the delivery engine.
+//
+// With the default policy (`SchedulePolicy::none()`) every send is packed
+// and handed to the destination mailbox inline, exactly as fast as the
+// hardware allows — the production path. With a perturbation policy the
+// runtime becomes *truly* nonblocking: isend/isend_i enqueue their packed
+// envelope on a per-world in-flight queue and a delivery engine, driven
+// from wait/waitall/probe/iprobe, drains it under a seeded schedule that
+//
+//   - defers individual envelopes for a bounded number of progress passes,
+//     interleaving deliveries across distinct (source, dest) pairs while
+//     preserving per-pair FIFO (the MPI ordering guarantee),
+//   - injects faults: bounded sender stalls, delayed waiter wakeups
+//     (suppressed notifications that self-heal on the waiters' timed
+//     re-polls), and bounded envelope reordering *within* a pair — the
+//     one perturbation that violates per-pair FIFO. Reordering is applied
+//     only to internal-context (collective) traffic, which is required to
+//     be epoch-tagged (see rt::epoch_tag) and therefore immune; user-facing
+//     point-to-point FIFO is never broken.
+//
+// Every schedule decision comes from one seeded xoshiro RNG (core/rng.hpp),
+// so a (seed, level) pair names a reproducible family of adversarial
+// schedules. The netsim latency model can be folded in (sim::make_schedule)
+// to defer envelopes proportionally to their modeled transit time.
+#pragma once
+
+#include <cstdint>
+
+namespace nncomm::rt {
+
+struct SchedulePolicy {
+    /// Off => eager inline delivery, bit-identical to the unperturbed
+    /// runtime. All other knobs are ignored when this is false.
+    bool enabled = false;
+    std::uint64_t seed = 1;
+
+    // -- schedule perturbation ------------------------------------------------
+    /// Probability an envelope is assigned a defer budget at enqueue.
+    double defer_prob = 0.0;
+    /// Maximum progress passes a deferred envelope is held back.
+    int max_defer = 0;
+
+    // -- fault injection ------------------------------------------------------
+    /// Probability an *internal-context* envelope is reordered ahead of
+    /// queued envelopes of the same (source, dest) pair (FIFO violation;
+    /// collective traffic must be epoch-tagged to survive this).
+    double reorder_prob = 0.0;
+    /// Maximum same-pair envelopes a reordered envelope may overtake.
+    int max_reorder = 0;
+    /// Probability the sending rank stalls (yield loop) after enqueue.
+    double stall_prob = 0.0;
+    /// Bounded stall length in sched_yield iterations.
+    int max_stall_spins = 0;
+    /// Probability a delivery's waiter notification is suppressed; blocked
+    /// waiters recover at their next timed re-poll (a delayed wakeup).
+    double wakeup_delay_prob = 0.0;
+
+    // -- optional latency model (netsim-style) --------------------------------
+    /// Adds size-dependent defer passes: one pass per defer_quantum_us of
+    /// modeled transit time latency_us + bytes * us_per_byte (capped).
+    bool use_latency_model = false;
+    double latency_us = 0.0;
+    double us_per_byte = 0.0;
+    double defer_quantum_us = 1.0;
+
+    /// The production schedule: eager inline delivery, no perturbation.
+    static SchedulePolicy none() { return SchedulePolicy{}; }
+
+    /// A canonical perturbation ladder. Level 1 reorders lightly with no
+    /// faults beyond it; level 2 adds stalls and delayed wakeups; level 3
+    /// is the adversarial setting the stress suite leans on.
+    static SchedulePolicy perturb(std::uint64_t seed, int level = 2) {
+        SchedulePolicy p;
+        p.enabled = true;
+        p.seed = seed;
+        const int l = level <= 1 ? 1 : (level >= 3 ? 3 : 2);
+        if (l == 1) {
+            p.defer_prob = 0.25;
+            p.max_defer = 3;
+            p.reorder_prob = 0.10;
+            p.max_reorder = 2;
+        } else if (l == 2) {
+            p.defer_prob = 0.50;
+            p.max_defer = 8;
+            p.reorder_prob = 0.25;
+            p.max_reorder = 4;
+            p.stall_prob = 0.05;
+            p.max_stall_spins = 64;
+            p.wakeup_delay_prob = 0.05;
+        } else {
+            p.defer_prob = 0.75;
+            p.max_defer = 16;
+            p.reorder_prob = 0.50;
+            p.max_reorder = 8;
+            p.stall_prob = 0.15;
+            p.max_stall_spins = 192;
+            p.wakeup_delay_prob = 0.15;
+        }
+        return p;
+    }
+};
+
+}  // namespace nncomm::rt

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coll/collectives.hpp"
+#include "coll/util.hpp"
 
 namespace {
 
@@ -361,6 +362,82 @@ TEST(Alltoall, UniformContiguous) {
             EXPECT_EQ(recv[static_cast<std::size_t>(2 * i)], 100 * i + c.rank());
             EXPECT_EQ(recv[static_cast<std::size_t>(2 * i + 1)], -100 * i - c.rank());
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// copy_typed aliasing (the local "self send" every alltoallw performs)
+
+TEST(CopyTyped, IdenticalInPlaceCopyIsNoop) {
+    // src == dst on the contiguous path: must not call memcpy on the
+    // identical range (undefined behavior the ASan gate flags).
+    std::vector<int> buf(16);
+    std::iota(buf.begin(), buf.end(), 0);
+    coll::detail::copy_typed(buf.data(), buf.size() * 4, Datatype::byte(), buf.data(),
+                             buf.size() * 4, Datatype::byte());
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CopyTyped, OverlappingContiguousCopyUsesMemmove) {
+    // Forward-overlapping ranges (dst inside src): memcpy is undefined
+    // here; memmove must produce the shifted copy intact.
+    std::vector<int> buf(24);
+    std::iota(buf.begin(), buf.end(), 0);
+    coll::detail::copy_typed(buf.data(), 16 * 4, Datatype::byte(), buf.data() + 4, 16 * 4,
+                             Datatype::byte());
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i + 4)], i);
+}
+
+TEST(CopyTyped, AlltoallwInPlaceSelfExchange) {
+    // Both algorithms route the self block through copy_typed. With
+    // sendbuf == recvbuf, zero volume for every other peer, and identical
+    // self displacements, the self copy is fully aliased: it must be a
+    // no-op, not a memcpy over the identical range.
+    for (auto algo : {AlltoallwAlgo::RoundRobin, AlltoallwAlgo::Binned}) {
+        const int n = 3;
+        World w(n);
+        w.run([&](Comm& c) {
+            const auto un = static_cast<std::size_t>(n);
+            const auto me = static_cast<std::size_t>(c.rank());
+            CollConfig cfg;
+            cfg.alltoallw_algo = algo;
+            std::vector<std::size_t> counts(un, 0);
+            counts[me] = 4;
+            std::vector<std::ptrdiff_t> displs(un, 0);
+            std::vector<Datatype> types(un, Datatype::int32());
+            std::vector<std::int32_t> buf(8);
+            std::iota(buf.begin(), buf.end(), c.rank() * 10);
+            coll::alltoallw(c, buf.data(), counts, displs, types, buf.data(), counts, displs,
+                            types, cfg);
+            for (int i = 0; i < 8; ++i) {
+                EXPECT_EQ(buf[static_cast<std::size_t>(i)], c.rank() * 10 + i)
+                    << "algo=" << static_cast<int>(algo);
+            }
+        });
+    }
+}
+
+TEST(CopyTyped, AlltoallwOverlappingSelfExchange) {
+    // Partially overlapping self displacements (recv block starts 8 bytes
+    // into the send block): the contiguous path must behave like memmove.
+    const int n = 2;
+    World w(n);
+    w.run([&](Comm& c) {
+        const auto un = static_cast<std::size_t>(n);
+        const auto me = static_cast<std::size_t>(c.rank());
+        std::vector<std::size_t> counts(un, 0);
+        counts[me] = 4;
+        std::vector<std::ptrdiff_t> sdispls(un, 0), rdispls(un, 0);
+        rdispls[me] = 8;
+        std::vector<Datatype> types(un, Datatype::int32());
+        std::vector<std::int32_t> buf(8);
+        std::iota(buf.begin(), buf.end(), 0);
+        coll::alltoallw(c, buf.data(), counts, sdispls, types, buf.data(), counts, rdispls,
+                        types);
+        // buf[2..5] now holds the original buf[0..3]; the head is untouched.
+        EXPECT_EQ(buf[0], 0);
+        EXPECT_EQ(buf[1], 1);
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[static_cast<std::size_t>(i + 2)], i);
     });
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -369,6 +370,118 @@ TEST(Runtime, ManyRanksAllToOne) {
             c.send_n(&v, 1, 0, 0);
         }
     });
+}
+
+TEST(Runtime, DoubleWaitIsIdempotent) {
+    // wait() on an already-completed request returns the cached status and
+    // must not rematch or unpack again.
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            const int x = 11;
+            c.send_n(&x, 1, 1, 4);
+        } else {
+            int x = 0;
+            Request r = c.irecv(&x, sizeof(int), Datatype::byte(), 0, 4);
+            RecvStatus first = c.wait(r);
+            RecvStatus again = c.wait(r);
+            EXPECT_EQ(x, 11);
+            EXPECT_EQ(first.source, again.source);
+            EXPECT_EQ(first.tag, again.tag);
+            EXPECT_EQ(first.bytes, again.bytes);
+        }
+    });
+}
+
+TEST(Runtime, WaitallOnCompletedSendsIsIdempotent) {
+    World w(2);
+    w.run([](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<int> payload(4, 3);
+            std::vector<Request> sends;
+            for (int i = 0; i < 4; ++i) {
+                sends.push_back(c.isend(&payload[static_cast<std::size_t>(i)], sizeof(int),
+                                        Datatype::byte(), 1, i));
+            }
+            c.waitall(sends);
+            c.waitall(sends);  // all complete: must be a no-op
+        } else {
+            for (int i = 0; i < 4; ++i) {
+                int v = 0;
+                c.recv_n(&v, 1, 0, i);
+                EXPECT_EQ(v, 3);
+            }
+        }
+    });
+}
+
+TEST(Runtime, PendingIsendCompletesUnderPerturbation) {
+    // With a perturbation policy the isend is genuinely pending: the
+    // request completes only once the delivery engine drains it, and the
+    // sched_pending_sends counter proves it went through the queue.
+    World w(2);
+    w.set_schedule(nncomm::rt::SchedulePolicy::perturb(/*seed=*/12345, /*level=*/2));
+    std::atomic<std::uint64_t> pending{0};
+    w.run([&](Comm& c) {
+        if (c.rank() == 0) {
+            std::vector<double> out(256, 2.5);
+            Request s = c.isend(out.data(), out.size() * 8, Datatype::byte(), 1, 0);
+            c.wait(s);
+            pending += c.counters().sched_pending_sends;
+        } else {
+            std::vector<double> in(256, 0.0);
+            c.recv_n(in.data(), in.size(), 0, 0);
+            EXPECT_DOUBLE_EQ(in[0], 2.5);
+            EXPECT_DOUBLE_EQ(in[255], 2.5);
+        }
+    });
+    EXPECT_GT(pending.load(), 0u);
+}
+
+TEST(Runtime, UnexpectedQueueKeepsArrivalOrderUnderPerturbation) {
+    // All messages arrive before any receive posts (a barrier separates
+    // send and receive phases), so they queue as unexpected. Wildcard
+    // receives must then drain them in arrival order — and the fault
+    // injector's reordering never applies to user-context traffic, so
+    // arrival order for one (source, tag) stream is post order.
+    World w(2);
+    w.set_schedule(nncomm::rt::SchedulePolicy::perturb(/*seed=*/777, /*level=*/3));
+    w.run([](Comm& c) {
+        constexpr int kN = 32;
+        if (c.rank() == 0) {
+            for (int i = 0; i < kN; ++i) c.send_n(&i, 1, 1, 5);
+            c.barrier();
+        } else {
+            c.barrier();  // every message is now queued unexpected
+            for (int i = 0; i < kN; ++i) {
+                int v = -1;
+                RecvStatus st = c.recv_n(&v, 1, kAnySource, kAnyTag);
+                EXPECT_EQ(v, i);
+                EXPECT_EQ(st.tag, 5);
+            }
+        }
+    });
+}
+
+TEST(Runtime, RootCauseErrorWinsOverSecondaryAborts) {
+    // The rank that throws is the one reported, not a rank whose blocked
+    // recv was woken by the abort — whichever reaches the error slot first.
+    World w(3);
+    bool caught = false;
+    try {
+        w.run([](Comm& c) {
+            if (c.rank() == 1) throw nncomm::Error("boom");
+            int v = 0;
+            c.recv_n(&v, 1, 1, 99);  // never sent; abort must wake this
+        });
+    } catch (const nncomm::rt::AbortedError&) {
+        ADD_FAILURE() << "secondary AbortedError masked the root cause";
+    } catch (const nncomm::Error& e) {
+        caught = true;
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(w.faulting_rank(), 1);
 }
 
 // Parameterized stress: random point-to-point traffic with mixed datatypes
