@@ -1,0 +1,144 @@
+// Ablation: the rendezvous threshold (default 32 KiB).
+//
+// Two views of the same tradeoff. In the LogGP simulator the protocol
+// split is explicit in the cost model: an eager send pays the staging
+// copy twice (sender pack, receiver unpack), a rendezvous send pays one
+// handshake round trip but moves its bytes once. On the paper testbed
+// (copy at 0.00025 us/B, handshake 9.4 us) the copy the protocol saves
+// outgrows the handshake at ~37 KB, so any threshold between the 16 KiB
+// and 64 KiB workload sizes is optimal and 32 KiB is the power of two in
+// that window. Sweeping the threshold over a log-uniform message mix
+// traces the U-curve around that point.
+//
+// The real-runtime sweep replays the pre-posted pingpong from
+// bench_rendezvous per message size under "always eager" vs "always
+// rendezvous" and reports the measured single-copy benefit: noise-level
+// at small sizes (the posted-queue probe is cheap but so is the copy),
+// approaching 2x once the payload dwarfs the synchronization.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "netsim/sim.hpp"
+#include "runtime/comm.hpp"
+
+using namespace nncomm;
+using dt::Datatype;
+
+namespace {
+
+// ---- Simulator sweep ------------------------------------------------------
+
+// Log-uniform message mix: many small control messages, few large payloads.
+struct MixEntry {
+    std::uint64_t bytes;
+    int count;
+};
+constexpr MixEntry kMix[] = {
+    {256, 64}, {1024, 64}, {4096, 32}, {16384, 32},
+    {65536, 16}, {262144, 8}, {1048576, 4}, {4194304, 2},
+};
+
+/// Rank 0 pingpongs every message of the mix off rank 1: each echo puts
+/// both protocol copies on the critical path (a one-way stream would hide
+/// the receiver's eager unpack behind the sender's serialization).
+sim::SimResult run_mix(std::size_t threshold) {
+    sim::ClusterConfig cluster = sim::make_paper_testbed(2);
+    cluster.rendezvous_threshold = threshold;
+    std::vector<sim::RankProgram> progs(2);
+    int tag = 0;
+    for (const auto& e : kMix) {
+        for (int i = 0; i < e.count; ++i, ++tag) {
+            progs[0].push_back(sim::Op::send(1, tag, e.bytes));
+            progs[0].push_back(sim::Op::recv(1, tag));
+            progs[1].push_back(sim::Op::recv(0, tag));
+            progs[1].push_back(sim::Op::send(0, tag, e.bytes));
+        }
+    }
+    return sim::Simulator(cluster).run(progs);
+}
+
+// ---- Real-runtime sweep ---------------------------------------------------
+
+constexpr int kIters = 200;
+constexpr int kDataTag = 7;
+constexpr int kTokenTag = 8;
+
+/// Pre-posted pingpong of `bytes` under a fixed threshold; per-iter ms.
+double pingpong_ms(std::size_t bytes, std::size_t threshold) {
+    double out = 0.0;
+    rt::World w(2);
+    w.run([&](rt::Comm& c) {
+        c.set_rendezvous_threshold(threshold);
+        const int peer = 1 - c.rank();
+        std::vector<std::uint8_t> sendbuf(bytes, 0x5a);
+        std::vector<std::uint8_t> recvbuf(bytes, 0);
+        auto exchange = [&] {
+            rt::Request r = c.irecv(recvbuf.data(), bytes, Datatype::byte(), peer, kDataTag);
+            int token = 1;
+            c.send_n(&token, 1, peer, kTokenTag);
+            c.recv_n(&token, 1, peer, kTokenTag);
+            c.send(sendbuf.data(), bytes, Datatype::byte(), peer, kDataTag);
+            c.wait(r);
+        };
+        for (int it = 0; it < 10; ++it) exchange();
+        c.barrier();
+        benchutil::Stopwatch sw;
+        for (int it = 0; it < kIters; ++it) exchange();
+        const double ms = sw.ms() / kIters;
+        c.barrier();
+        if (c.rank() == 0) out = ms;
+    });
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+    std::printf("== Ablation: rendezvous threshold ==\n\n");
+    std::printf("simulator, paper testbed: rank 0 pingpongs a log-uniform mix\n"
+                "(256 B x64 ... 4 MiB x2, %d round trips) off rank 1\n\n",
+                [] { int n = 0; for (const auto& e : kMix) n += e.count; return n; }());
+
+    benchutil::Table sweep({"Threshold", "Makespan (us)", "Rendezvous msgs"});
+    const std::size_t thresholds[] = {0,       1024,        8192, 32768,
+                                      262144,  2097152,     kNever};
+    double best = 0.0;
+    std::size_t best_thr = 0;
+    for (std::size_t thr : thresholds) {
+        const sim::SimResult r = run_mix(thr);
+        if (best == 0.0 || r.makespan_us < best) {
+            best = r.makespan_us;
+            best_thr = thr;
+        }
+        sweep.add_row({thr == kNever ? "never" : std::to_string(thr),
+                       benchutil::fmt(r.makespan_us, 1),
+                       std::to_string(r.rendezvous_messages)});
+    }
+    sweep.print();
+    std::printf("\nbest threshold in sweep: %s (default %llu)\n",
+                best_thr == kNever ? "never" : std::to_string(best_thr).c_str(),
+                static_cast<unsigned long long>(rt::kDefaultRendezvousThreshold));
+
+    std::printf("\nreal runtime: pre-posted pingpong, always-eager vs always-rendezvous\n\n");
+    benchutil::Table rt_tab({"Bytes", "Eager (ms)", "Rendezvous (ms)", "Speedup"});
+    for (std::size_t bytes : {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 15,
+                              std::size_t{1} << 17, std::size_t{1} << 20, std::size_t{1} << 22}) {
+        const double eager = pingpong_ms(bytes, kNever);
+        const double rdv = pingpong_ms(bytes, 0);
+        rt_tab.add_row({std::to_string(bytes), benchutil::fmt(eager, 4),
+                        benchutil::fmt(rdv, 4),
+                        benchutil::fmt(rdv > 0.0 ? eager / rdv : 0.0, 2)});
+    }
+    rt_tab.print();
+
+    std::printf("\nbelow the threshold the saved copy is cheaper than the handshake the\n"
+                "simulator charges (and noise-level in the threaded runtime, where the\n"
+                "posted-queue probe replaces the handshake); above it the second copy\n"
+                "dominates. 32 KiB sits in the optimal window on the paper testbed.\n");
+    return 0;
+}

@@ -44,6 +44,10 @@ struct Results {
     std::uint64_t plan_hits = 0;
     std::uint64_t engine_builds = 0;
     std::uint64_t scratch_allocs = 0;
+    std::uint64_t steady_payload_allocs = 0;  // must be 0: pool fully recycles
+    std::uint64_t zero_copy_msgs = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t bytes_copied = 0;  // once per zero-copy message, twice per buffered
 };
 
 }  // namespace
@@ -83,8 +87,13 @@ int main() {
             comm.barrier();
             const double first_ms = first.ms();
 
+            // The first execute warms the payload pool; after that every
+            // buffered envelope must recycle a pooled buffer.
+            const std::uint64_t allocs_before_steady = comm.counters().rt_payload_allocs;
             benchutil::Stopwatch steady;
             for (int it = 0; it < kIters; ++it) sc.execute(src, dst, backends[b]);
+            const std::uint64_t steady_allocs =
+                comm.counters().rt_payload_allocs - allocs_before_steady;
             comm.barrier();
             const double steady_ms = steady.ms() / kIters;
 
@@ -95,6 +104,10 @@ int main() {
                     res.plan_hits = c.plan_hits;
                     res.engine_builds = c.engine_builds;
                     res.scratch_allocs = c.scratch_allocs;
+                    res.steady_payload_allocs = steady_allocs;
+                    res.zero_copy_msgs = c.rt_zero_copy_msgs;
+                    res.pool_hits = c.rt_pool_hits;
+                    res.bytes_copied = c.rt_bytes_copied;
                 }
             }
         }
@@ -132,7 +145,7 @@ int main() {
 
     const double speedup =
         res.backend[2].steady_ms > 0.0 ? res.nonpersistent_ms / res.backend[2].steady_ms : 0.0;
-    const bool pass = speedup >= 1.5;
+    const bool pass = speedup >= 1.5 && res.steady_payload_allocs == 0;
 
     std::printf("== Persistent VecScatter: first call vs amortized steady state ==\n");
     std::printf("%d ranks, %lld stride-2 doubles per process, %d steady iterations\n\n",
@@ -158,6 +171,12 @@ int main() {
                 static_cast<unsigned long long>(res.plan_hits),
                 static_cast<unsigned long long>(res.engine_builds),
                 static_cast<unsigned long long>(res.scratch_allocs));
+    std::printf("runtime counters: steady payload_allocs=%llu (require 0) "
+                "zero_copy_msgs=%llu pool_hits=%llu bytes_copied=%llu\n",
+                static_cast<unsigned long long>(res.steady_payload_allocs),
+                static_cast<unsigned long long>(res.zero_copy_msgs),
+                static_cast<unsigned long long>(res.pool_hits),
+                static_cast<unsigned long long>(res.bytes_copied));
 
     FILE* f = std::fopen("BENCH_persistent.json", "w");
     if (f) {
@@ -176,10 +195,16 @@ int main() {
         std::fprintf(f, "  \"nonpersistent_optimized_ms\": %.6f,\n", res.nonpersistent_ms);
         std::fprintf(f, "  \"steady_speedup_vs_nonpersistent\": %.4f,\n", speedup);
         std::fprintf(f, "  \"optimized_counters\": { \"plan_hits\": %llu, "
-                        "\"engine_builds\": %llu, \"scratch_allocs\": %llu },\n",
+                        "\"engine_builds\": %llu, \"scratch_allocs\": %llu, "
+                        "\"steady_payload_allocs\": %llu, \"zero_copy_msgs\": %llu, "
+                        "\"pool_hits\": %llu, \"bytes_copied\": %llu },\n",
                      static_cast<unsigned long long>(res.plan_hits),
                      static_cast<unsigned long long>(res.engine_builds),
-                     static_cast<unsigned long long>(res.scratch_allocs));
+                     static_cast<unsigned long long>(res.scratch_allocs),
+                     static_cast<unsigned long long>(res.steady_payload_allocs),
+                     static_cast<unsigned long long>(res.zero_copy_msgs),
+                     static_cast<unsigned long long>(res.pool_hits),
+                     static_cast<unsigned long long>(res.bytes_copied));
         std::fprintf(f, "  \"pass\": %s\n", pass ? "true" : "false");
         std::fprintf(f, "}\n");
         std::fclose(f);

@@ -31,6 +31,15 @@ std::size_t block_count(const GathervArgs& a, int b) {
     return a.recvcounts[static_cast<std::size_t>(b)];
 }
 
+// Volume hint for one phase: the algorithm knows exactly how many bytes a
+// step moves, so bulk steps ride the zero-copy rendezvous path (the peer's
+// sendrecv_i posts its receive before sending) and small latency-bound
+// steps stay eager without consulting the size heuristic per message.
+rt::Protocol phase_protocol(const rt::Comm& comm, std::size_t bytes) {
+    return bytes >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
+                                                : rt::Protocol::Eager;
+}
+
 // Ring algorithm: N-1 steps; at step s each rank forwards the block it
 // received in the previous step. One outlier-sized block travels the whole
 // ring sequentially — the behaviour of the paper's Figure 8.
@@ -45,7 +54,8 @@ void allgatherv_ring(const GathervArgs& a) {
         const int recv_block = (rank - s - 1 + n) % n;
         comm.sendrecv_i(block_ptr(a, send_block), block_count(a, send_block), *a.recvtype,
                         right, a.tag_base + s, block_ptr(a, recv_block),
-                        block_count(a, recv_block), *a.recvtype, left, a.tag_base + s);
+                        block_count(a, recv_block), *a.recvtype, left, a.tag_base + s,
+                        phase_protocol(comm, block_count(a, send_block) * a.recvtype->size()));
     }
 }
 
@@ -67,7 +77,8 @@ void allgatherv_recursive_doubling(const GathervArgs& a) {
         auto recv_type =
             detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, peer_first, mask);
         comm.sendrecv_i(a.recvbuf, 1, send_type, partner, a.tag_base + 0x40 + phase,
-                        a.recvbuf, 1, recv_type, partner, a.tag_base + 0x40 + phase);
+                        a.recvbuf, 1, recv_type, partner, a.tag_base + 0x40 + phase,
+                        phase_protocol(comm, send_type.size()));
     }
 }
 
@@ -88,7 +99,8 @@ void allgatherv_dissemination(const GathervArgs& a) {
         auto recv_type = detail::block_range_type(a.recvcounts, a.displs, *a.recvtype,
                                                   rank - step - cnt + 1, cnt);
         comm.sendrecv_i(a.recvbuf, 1, send_type, to, a.tag_base + 0x80 + phase, a.recvbuf, 1,
-                        recv_type, from, a.tag_base + 0x80 + phase);
+                        recv_type, from, a.tag_base + 0x80 + phase,
+                        phase_protocol(comm, send_type.size()));
     }
 }
 

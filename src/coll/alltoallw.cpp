@@ -107,12 +107,20 @@ void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
     std::sort(small_bin.begin(), small_bin.end(), by_volume);
     std::sort(large_bin.begin(), large_bin.end(), by_volume);
 
-    for (const auto& bin : {small_bin, large_bin}) {
-        for (const Peer& p : bin) {
-            const auto d = static_cast<std::size_t>(p.rank);
-            comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
-                         sendtypes[d], p.rank, tag);
-        }
+    // The binning already separates latency-bound from bandwidth-bound
+    // peers, so it doubles as the protocol decision: the small bin stays on
+    // buffered eager, the large bin is hinted onto the zero-copy rendezvous
+    // path (every peer posted its receives up front, so the posted-receive
+    // precondition usually holds by the time the large sends fire).
+    for (const Peer& p : small_bin) {
+        const auto d = static_cast<std::size_t>(p.rank);
+        comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
+                     sendtypes[d], p.rank, tag, rt::Protocol::Eager);
+    }
+    for (const Peer& p : large_bin) {
+        const auto d = static_cast<std::size_t>(p.rank);
+        comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
+                     sendtypes[d], p.rank, tag, rt::Protocol::Rendezvous);
     }
 
     comm.waitall(recv_reqs);

@@ -12,6 +12,10 @@ namespace {
 /// messages in flight on the same communicator. (0x500: the previous 0x300
 /// base collided with bcast's tag.)
 constexpr int kPersistentTagBase = rt::kInternalTagBase + 0x500;
+/// Clear-to-send lane: zero-byte tokens receivers send once their large
+/// (rendezvous-bound) receives are posted. Zero-byte messages bypass the
+/// payload pool entirely, so the handshake itself allocates nothing.
+constexpr int kPersistentCtsBase = rt::kInternalTagBase + 0x580;
 }  // namespace
 
 AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
@@ -55,13 +59,21 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             p.displ = sdispls[i];
             p.type = sendtypes[i];
             p.bytes = svol;
+            p.proto = svol >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
+                                                          : rt::Protocol::Eager;
             p.packbuf.resize(static_cast<std::size_t>(svol));
             ++pending_setup_.scratch_allocs;
             sends_.push_back(std::move(p));
         }
         if (rvol > 0) {
+            // Matching type signatures make rvol here equal svol on the
+            // source, so both ends freeze the same protocol decision —
+            // provided every rank runs the same rendezvous threshold (the
+            // same uniformity every collective already demands of its
+            // arguments).
             recvs_.push_back(RecvPeer{static_cast<int>(i), recvcounts[i], rdispls[i],
-                                      recvtypes[i]});
+                                      recvtypes[i],
+                                      rvol >= comm.rendezvous_threshold()});
         }
     }
 
@@ -127,7 +139,9 @@ void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
     // One epoch lane per execute: sends below are fire-and-forget
     // nonblocking, so a straggler from execute k can still be in flight
     // when execute k+1 posts its receives.
-    const int tag = rt::epoch_tag(kPersistentTagBase, comm_->next_collective_epoch());
+    const int epoch = comm_->next_collective_epoch();
+    const int tag = rt::epoch_tag(kPersistentTagBase, epoch);
+    const int cts_tag = rt::epoch_tag(kPersistentCtsBase, epoch);
 
     // Engine-config changes between executes invalidate the persistent
     // engines (their scratch sizing depends on the pipeline chunk); treat
@@ -151,6 +165,17 @@ void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
                                             p.count, p.type, p.rank, tag));
     }
 
+    // Release the rendezvous-bound sources: this rank's receives are all
+    // posted now, and the zero-byte clear-to-send proves it to the peer,
+    // so the matching payload send always takes the single-copy path —
+    // deterministically, not just when it wins the posting race.
+    std::byte cts_token{};
+    for (const RecvPeer& p : recvs_) {
+        if (p.cts) {
+            comm_->send_i(&cts_token, 0, dt::Datatype::byte(), p.rank, cts_tag);
+        }
+    }
+
     // Self exchange through the persistent staging buffer.
     if (has_self_) {
         PhaseScope scope(step_timers, Phase::Pack);
@@ -165,11 +190,21 @@ void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
     // engine construction the one-shot path would perform is gone. The
     // sends are nonblocking fire-and-forget (the payload is captured at
     // enqueue, so the persistent packbuf is immediately reusable); only the
-    // receives gate completion.
+    // receives gate completion. Eager peers go first: they never wait, and
+    // every rank has already broadcast its clear-to-sends above, so the
+    // blocking token receives in the second pass cannot deadlock.
     for (SendPeer& p : sends_) {
+        if (p.proto == rt::Protocol::Rendezvous) continue;
         pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
         comm_->isend_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
-                       dt::Datatype::byte(), p.rank, tag);
+                       dt::Datatype::byte(), p.rank, tag, p.proto);
+    }
+    for (SendPeer& p : sends_) {
+        if (p.proto != rt::Protocol::Rendezvous) continue;
+        comm_->recv_i(&cts_token, 0, dt::Datatype::byte(), p.rank, cts_tag);
+        pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
+        comm_->isend_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
+                       dt::Datatype::byte(), p.rank, tag, p.proto);
     }
 
     comm_->waitall(recv_reqs_);

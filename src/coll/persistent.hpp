@@ -79,6 +79,10 @@ private:
         std::ptrdiff_t displ = 0;
         dt::Datatype type;
         std::uint64_t bytes = 0;
+        /// Volume-derived protocol hint, frozen at plan time: large peers
+        /// ride the zero-copy rendezvous path (the receives are posted up
+        /// front), small peers stay buffered eager.
+        rt::Protocol proto = rt::Protocol::Auto;
         std::vector<std::byte> packbuf;          ///< persistent, sized once
         std::unique_ptr<dt::PackEngine> engine;  ///< irregular layouts only
     };
@@ -87,6 +91,11 @@ private:
         std::size_t count = 0;
         std::ptrdiff_t displ = 0;
         dt::Datatype type;
+        /// Mirror of the sender's frozen Rendezvous decision (same volume,
+        /// same threshold): after posting this receive, execute() sends the
+        /// source a zero-byte clear-to-send so the payload send always
+        /// finds the receive posted and the single-copy path never races.
+        bool cts = false;
     };
 
     void pack_peer(SendPeer& p, const std::byte* base, StatCounters& step,

@@ -108,6 +108,18 @@ struct StatCounters {
     std::uint64_t sched_stalls = 0;         ///< injected sender stalls
     std::uint64_t sched_wakeup_delays = 0;  ///< suppressed waiter notifications
 
+    // Runtime transfer-protocol counters (runtime/comm.cpp). The eager path
+    // stages every payload in an envelope buffer (drawn from the per-world
+    // pool) and copies twice; the rendezvous path moves messages with an
+    // already-posted receive straight into the receiver's buffer in one
+    // pass. Sender-side events are charged to the sending rank; the
+    // receive-side unpack copy to the receiving rank.
+    std::uint64_t rt_zero_copy_msgs = 0;  ///< messages transferred rendezvous (no envelope)
+    std::uint64_t rt_bytes_copied = 0;    ///< payload bytes moved by runtime copy passes
+    std::uint64_t rt_pool_hits = 0;       ///< payload buffers recycled from the world pool
+    std::uint64_t rt_pool_misses = 0;     ///< pool-eligible acquires that found no free buffer
+    std::uint64_t rt_payload_allocs = 0;  ///< payload heap allocations (misses + oversize)
+
     void reset() { *this = StatCounters{}; }
 
     StatCounters& operator+=(const StatCounters& o) {
@@ -129,6 +141,11 @@ struct StatCounters {
         sched_reorders += o.sched_reorders;
         sched_stalls += o.sched_stalls;
         sched_wakeup_delays += o.sched_wakeup_delays;
+        rt_zero_copy_msgs += o.rt_zero_copy_msgs;
+        rt_bytes_copied += o.rt_bytes_copied;
+        rt_pool_hits += o.rt_pool_hits;
+        rt_pool_misses += o.rt_pool_misses;
+        rt_payload_allocs += o.rt_payload_allocs;
         return *this;
     }
 };

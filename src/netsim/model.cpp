@@ -15,6 +15,12 @@ ClusterConfig make_paper_testbed(int nprocs, double skew_us_mean) {
         c.speed[static_cast<std::size_t>(r)] = (r < nprocs / 2 || nprocs == 1) ? 1.0 : 0.8;
     }
     c.skew_us_mean = skew_us_mean;
+    // Protocol split on: staging copies run at host-memory speed (~4 GB/s
+    // effective, slower than the wire's 1.3 GB/s would suggest because the
+    // copy shares the memory bus with the NIC), and a rendezvous handshake
+    // costs one extra round trip.
+    c.copy_us_per_byte = 0.00025;
+    c.rendezvous_handshake_us = 2.0 * (c.latency_us + c.overhead_us);
     return c;
 }
 

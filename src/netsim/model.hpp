@@ -29,6 +29,17 @@ struct ClusterConfig {
     double overhead_us = 0.7;       ///< CPU overhead per send/recv
     double us_per_byte = 0.00075;   ///< ~1.3 GB/s effective bandwidth
 
+    // Transfer-protocol split, mirroring the runtime's eager/rendezvous
+    // design. Messages below the threshold are buffered eager: one staging
+    // copy on the sender and one unpack copy on the receiver, each at
+    // copy_us_per_byte. Messages at or above it pay a fixed handshake
+    // (ready-to-send / clear-to-send round trip) but move their bytes in a
+    // single copy. copy_us_per_byte defaults to 0 so raw configs cost
+    // exactly what they always did; make_paper_testbed opts in.
+    std::size_t rendezvous_threshold = 32 * 1024;
+    double copy_us_per_byte = 0.0;        ///< memory-copy cost per staged byte
+    double rendezvous_handshake_us = 0.0; ///< RTS/CTS round trip per rendezvous message
+
     // Datatype-engine costs (calibrated against the real engines' counters).
     double pack_us_per_byte = 0.0004;      ///< memcpy into the pack buffer
     double lookahead_us_per_block = 0.002; ///< signature parse per block

@@ -21,6 +21,14 @@ struct RankState {
     bool done = false;
 };
 
+/// One message in transit: arrival time plus what the receiver still owes
+/// for it (the eager unpack copy; rendezvous bytes land in place).
+struct Transit {
+    double arrival = 0.0;
+    std::uint64_t bytes = 0;
+    bool rendezvous = false;
+};
+
 }  // namespace
 
 SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
@@ -29,7 +37,7 @@ SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
                      "one program per rank required");
 
     std::vector<RankState> ranks(static_cast<std::size_t>(n));
-    std::unordered_map<std::uint64_t, std::deque<double>> in_flight;  // arrivals, FIFO per key
+    std::unordered_map<std::uint64_t, std::deque<Transit>> in_flight;  // FIFO per key
     in_flight.reserve(1024);
     SimResult result;
 
@@ -53,19 +61,36 @@ SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
                 } else if (op.kind == Op::Kind::Send) {
                     // Sender occupied for overhead + serialization; message
                     // arrives one wire latency after it leaves the NIC.
-                    st.clock += config_.overhead_us / speed +
-                                static_cast<double>(op.bytes) * config_.us_per_byte;
-                    in_flight[pair_key(r, op.peer, op.tag)].push_back(st.clock +
-                                                                      config_.latency_us);
+                    // Protocol split mirrors the runtime: eager sends pay a
+                    // staging copy here (and the receiver pays the unpack
+                    // copy on arrival); rendezvous sends pay one handshake
+                    // round trip but move their bytes in a single pass.
+                    const bool rdv = op.bytes >= config_.rendezvous_threshold;
+                    double occupied = config_.overhead_us / speed +
+                                      static_cast<double>(op.bytes) * config_.us_per_byte;
+                    if (rdv) {
+                        occupied += config_.rendezvous_handshake_us +
+                                    static_cast<double>(op.bytes) * config_.copy_us_per_byte;
+                        ++result.rendezvous_messages;
+                    } else {
+                        occupied += static_cast<double>(op.bytes) * config_.copy_us_per_byte;
+                    }
+                    st.clock += occupied;
+                    in_flight[pair_key(r, op.peer, op.tag)].push_back(
+                        Transit{st.clock + config_.latency_us, op.bytes, rdv});
                     ++result.messages;
                     result.bytes += op.bytes;
                 } else {  // Recv
                     auto it = in_flight.find(pair_key(op.peer, r, op.tag));
                     if (it == in_flight.end() || it->second.empty()) break;  // blocked
-                    const double arrival = it->second.front();
+                    const Transit msg = it->second.front();
                     it->second.pop_front();
                     if (it->second.empty()) in_flight.erase(it);  // keys rarely repeat
-                    st.clock = std::max(st.clock, arrival) + config_.overhead_us / speed;
+                    st.clock = std::max(st.clock, msg.arrival) + config_.overhead_us / speed;
+                    if (!msg.rendezvous) {
+                        // Eager second copy: unpack out of the staging buffer.
+                        st.clock += static_cast<double>(msg.bytes) * config_.copy_us_per_byte;
+                    }
                 }
                 ++st.pc;
                 progress = true;

@@ -9,7 +9,10 @@
 // deadlock and throws.
 //
 // Messages match on (source, tag) FIFO per pair, mirroring the runtime's
-// matching semantics. All times are microseconds of virtual time.
+// matching semantics. Costs follow the runtime's protocol split: sends
+// below the cluster's rendezvous_threshold are buffered eager (staging
+// copy on the sender, unpack copy on the receiver), larger ones pay a
+// handshake but a single copy. All times are microseconds of virtual time.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +45,7 @@ struct SimResult {
     double makespan_us = 0.0;       ///< max over ranks
     std::uint64_t messages = 0;     ///< total messages delivered
     std::uint64_t bytes = 0;        ///< total payload bytes moved
+    std::uint64_t rendezvous_messages = 0;  ///< sends that rode the rendezvous cost path
 };
 
 class Simulator {

@@ -1,6 +1,8 @@
 #include "runtime/comm.hpp"
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -22,11 +24,114 @@ namespace detail {
 /// user-posted wildcard receives on the same communicator.
 inline constexpr int kInternalContextOffset = 1 << 30;
 
+/// Owning byte buffer for one staged payload. Unlike std::vector, resizing
+/// for reuse never value-initializes: the eager path overwrites every byte
+/// it claims, so a recycled pool buffer costs zero writes beyond the pack
+/// copy itself.
+struct PayloadBuffer {
+    std::unique_ptr<std::byte[]> buf;
+    std::size_t cap = 0;
+    std::size_t len = 0;
+
+    PayloadBuffer() = default;
+    PayloadBuffer(PayloadBuffer&& o) noexcept
+        : buf(std::move(o.buf)), cap(std::exchange(o.cap, 0)), len(std::exchange(o.len, 0)) {}
+    PayloadBuffer& operator=(PayloadBuffer&& o) noexcept {
+        buf = std::move(o.buf);
+        cap = std::exchange(o.cap, 0);
+        len = std::exchange(o.len, 0);
+        return *this;
+    }
+
+    std::byte* data() { return buf.get(); }
+    const std::byte* data() const { return buf.get(); }
+    std::size_t size() const { return len; }
+    bool empty() const { return len == 0; }
+
+    /// Grows capacity (uninitialized) if needed and sets the logical size.
+    void resize_for_overwrite(std::size_t n) {
+        if (n > cap) {
+            buf.reset(new std::byte[n]);  // default-init: no memset
+            cap = n;
+        }
+        len = n;
+    }
+    void reset() {
+        buf.reset();
+        cap = 0;
+        len = 0;
+    }
+};
+
+/// Per-world size-classed pool of payload buffers. Buffers are acquired by
+/// sending ranks when a message takes the buffered-eager path and released
+/// by the receiving rank when the payload has been unpacked, so in steady
+/// state (e.g. a persistent scatter loop) the same buffers cycle between
+/// the ranks and rt_payload_allocs stays flat. Oversize payloads bypass
+/// the pool entirely; per-class capacity bounds retained memory.
+class PayloadPool {
+public:
+    static constexpr std::size_t kMinClassBytes = 256;
+    static constexpr std::size_t kMaxClassBytes = std::size_t{8} << 20;  // 8 MB
+    static constexpr std::size_t kNumClasses = 16;                       // 256 B .. 8 MB
+    static constexpr std::size_t kBuffersPerClass = 16;
+
+    /// Returns a buffer of logical size `bytes` (contents uninitialized).
+    PayloadBuffer acquire(std::size_t bytes, StatCounters& counters) {
+        PayloadBuffer out;
+        if (bytes > kMaxClassBytes) {
+            ++counters.rt_payload_allocs;
+            out.resize_for_overwrite(bytes);
+            return out;
+        }
+        const std::size_t idx = class_index(bytes);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto& shelf = free_[idx];
+            if (!shelf.empty()) {
+                out = std::move(shelf.back());
+                shelf.pop_back();
+            }
+        }
+        if (out.cap > 0) {
+            ++counters.rt_pool_hits;
+            out.len = bytes;  // cap >= class size >= bytes
+            return out;
+        }
+        ++counters.rt_pool_misses;
+        ++counters.rt_payload_allocs;
+        out.resize_for_overwrite(class_bytes(idx));  // allocate the full class
+        out.len = bytes;
+        return out;
+    }
+
+    /// Returns a buffer to its size class (or frees it when the class shelf
+    /// is full or the buffer is oversize / undersized for any class).
+    void release(PayloadBuffer&& b) {
+        if (b.cap < kMinClassBytes || b.cap > kMaxClassBytes) return;  // dropped
+        const std::size_t idx = class_index(b.cap);
+        if (class_bytes(idx) != b.cap) return;  // not one of ours
+        std::lock_guard<std::mutex> lk(mu_);
+        auto& shelf = free_[idx];
+        if (shelf.size() < kBuffersPerClass) shelf.push_back(std::move(b));
+    }
+
+private:
+    static std::size_t class_bytes(std::size_t idx) { return kMinClassBytes << idx; }
+    static std::size_t class_index(std::size_t bytes) {
+        if (bytes <= kMinClassBytes) return 0;
+        return static_cast<std::size_t>(std::bit_width(bytes - 1)) - 8;  // 256 = 2^8
+    }
+
+    std::mutex mu_;
+    std::array<std::vector<PayloadBuffer>, kNumClasses> free_;
+};
+
 struct Envelope {
     int source = -1;
     int tag = -1;
     int context = 0;
-    std::vector<std::byte> payload;
+    PayloadBuffer payload;
 };
 
 struct RequestState {
@@ -42,8 +147,12 @@ struct RequestState {
     int context = 0;
     int owner_rank = -1;
 
-    // Filled when a matching envelope arrives.
+    // Filled when a matching envelope arrives. For rendezvous transfers the
+    // envelope is header-only: the sender already moved `direct_bytes` bytes
+    // straight into `buf` before setting `matched`.
     bool matched = false;
+    bool zero_copy = false;
+    std::size_t direct_bytes = 0;
     Envelope env;
 
     // Send requests: set by the delivery engine (possibly from another
@@ -78,6 +187,8 @@ struct WorldState {
 
     SchedulePolicy policy;  ///< fixed for the duration of a run
 
+    PayloadPool pool;  ///< recycled buffered-eager payload buffers
+
     // Delivery engine state. prog_mu is held across entire drain passes
     // (including mailbox delivery) so concurrent drains cannot violate
     // per-pair FIFO; lock order is always prog_mu -> box.mu, never reversed.
@@ -89,7 +200,10 @@ struct WorldState {
     void abort_all() {
         aborted.store(true, std::memory_order_release);
         for (auto& b : boxes) {
-            std::lock_guard<std::mutex> lk(b->mu);
+            // Acquire/release the mutex so every waiter either sees the flag
+            // before sleeping or is inside wait(); notify after unlocking so
+            // woken threads don't immediately block on a mutex we still hold.
+            { std::lock_guard<std::mutex> lk(b->mu); }
             b->cv.notify_all();
         }
     }
@@ -104,21 +218,27 @@ bool matches(const RequestState& req, const Envelope& env) {
 
 /// Moves an envelope into its destination mailbox: match a posted receive
 /// or append to the unexpected queue. `notify == false` is the delayed-
-/// wakeup fault — waiters recover at their next timed re-poll.
+/// wakeup fault — waiters recover at their next timed re-poll. The state
+/// change happens under box.mu (so a sleeping waiter's predicate re-check
+/// cannot miss it) but the notify itself fires after unlocking, so the
+/// woken thread never bounces off a mutex the deliverer still holds.
 void deliver(WorldState& world, int dest, Envelope&& env, bool notify = true) {
     NNCOMM_CHECK_MSG(dest >= 0 && dest < world.nranks, "send to invalid rank");
     Mailbox& box = *world.boxes[static_cast<std::size_t>(dest)];
-    std::lock_guard<std::mutex> lk(box.mu);
-    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-        if (matches(**it, env)) {
-            (*it)->env = std::move(env);
-            (*it)->matched = true;
-            box.posted.erase(it);
-            if (notify) box.cv.notify_all();
-            return;
+    {
+        std::unique_lock<std::mutex> lk(box.mu);
+        for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+            if (matches(**it, env)) {
+                (*it)->env = std::move(env);
+                (*it)->matched = true;
+                box.posted.erase(it);
+                lk.unlock();
+                if (notify) box.cv.notify_all();
+                return;
+            }
         }
+        box.unexpected.push_back(std::move(env));
     }
-    box.unexpected.push_back(std::move(env));
     if (notify) box.cv.notify_all();  // wake probers
 }
 
@@ -218,61 +338,194 @@ Request Comm::irecv(void* buf, std::size_t count, const dt::Datatype& type, int 
     return irecv_ctx(buf, count, type, source, tag, context_);
 }
 
-namespace {
-
-/// Packs `buf` into an envelope exactly as the eager path always has:
-/// contiguous layouts in one copy, noncontiguous layouts through the
+/// Packs `buf` into an envelope exactly as the buffered-eager path always
+/// has: contiguous layouts in one copy, noncontiguous layouts through the
 /// configured pipelined engine, with the same Comm/Pack/Search accounting.
-Envelope pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type, int tag,
-                       int context, int source, dt::EngineKind engine_kind,
-                       const dt::EngineConfig& engine_config, PhaseTimers& timers_,
-                       StatCounters& counters_) {
+/// The payload buffer comes from the per-world pool; zero-byte messages
+/// never touch the pool or the allocator at all.
+Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
+                             int tag, int context) {
     NNCOMM_CHECK(type.valid());
     Envelope env;
-    env.source = source;
+    env.source = rank_;
     env.tag = tag;
     env.context = context;
 
     const std::uint64_t total = static_cast<std::uint64_t>(type.size()) * count;
-    if (total > 0) {
-        const auto& flat = type.flat();
-        const bool fully_dense =
-            flat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
-        if (fully_dense) {
-            // Contiguous fast path: one copy onto the wire, all Comm time.
+    if (total == 0) return env;  // header-only: zero-byte sends are pure synchronization
+
+    env.payload = world_->pool.acquire(static_cast<std::size_t>(total), counters_);
+    counters_.rt_bytes_copied += total;  // sender-side staging copy
+    const auto& flat = type.flat();
+    const bool fully_dense =
+        flat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
+    if (fully_dense) {
+        // Contiguous fast path: one copy onto the wire, all Comm time.
+        PhaseScope scope(timers_, Phase::Comm);
+        std::memcpy(env.payload.data(), buf, env.payload.size());
+    } else {
+        // Noncontiguous: pipelined chunks through the configured engine.
+        auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
+        std::size_t off = 0;
+        dt::ChunkView chunk;
+        while (engine->next_chunk(chunk)) {
+            // Moving the chunk onto the wire is Comm time; the engine
+            // internally charged its Pack/Search time.
             PhaseScope scope(timers_, Phase::Comm);
-            env.payload.resize(static_cast<std::size_t>(total));
-            std::memcpy(env.payload.data(), buf, env.payload.size());
-        } else {
-            // Noncontiguous: pipelined chunks through the configured engine.
-            env.payload.resize(static_cast<std::size_t>(total));
-            auto engine = dt::make_engine(engine_kind, buf, type, count, engine_config);
-            std::size_t off = 0;
-            dt::ChunkView chunk;
-            while (engine->next_chunk(chunk)) {
-                // Moving the chunk onto the wire is Comm time; the engine
-                // internally charged its Pack/Search time.
-                PhaseScope scope(timers_, Phase::Comm);
-                if (chunk.dense) {
-                    for (const auto& [ptr, len] : chunk.iov) {
-                        std::memcpy(env.payload.data() + off, ptr, len);
-                        off += len;
-                    }
-                } else {
-                    std::memcpy(env.payload.data() + off, chunk.packed.data(),
-                                chunk.packed.size());
-                    off += chunk.packed.size();
+            if (chunk.dense) {
+                for (const auto& [ptr, len] : chunk.iov) {
+                    std::memcpy(env.payload.data() + off, ptr, len);
+                    off += len;
                 }
+            } else {
+                std::memcpy(env.payload.data() + off, chunk.packed.data(), chunk.packed.size());
+                off += chunk.packed.size();
             }
-            NNCOMM_CHECK(off == env.payload.size());
-            timers_ += engine->timers();
-            counters_ += engine->counters();
         }
+        NNCOMM_CHECK(off == env.payload.size());
+        timers_ += engine->timers();
+        counters_ += engine->counters();
     }
     return env;
 }
 
-}  // namespace
+/// Attempts the zero-copy rendezvous transfer: if the matching receive is
+/// already posted at the destination, the payload moves straight into the
+/// receiver's buffer in a single pass (memcpy for contiguous-to-contiguous,
+/// plan kernels or engine-chunk streaming otherwise) and no envelope buffer
+/// is ever allocated. Returns false — caller falls back to buffered eager —
+/// when the receive is not posted, the message is empty or below an Auto
+/// threshold, the hint forces Eager, or a SchedulePolicy is active (deferred
+/// envelopes must all route through the in-flight queue to keep per-pair
+/// FIFO intact).
+///
+/// Order safety: irecv_ctx drains matching unexpected envelopes before
+/// posting, so while we hold box.mu a posted receive proves no earlier
+/// matching message of ours is still queued — matching the first posted
+/// entry is exactly what deliver() would have done.
+bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                          int tag, int context, Protocol proto) {
+    if (proto == Protocol::Eager || world_->policy.enabled) return false;
+    NNCOMM_CHECK(type.valid());
+    const std::size_t total = type.size() * count;
+    if (total == 0) return false;
+    if (proto == Protocol::Auto && total < rendezvous_threshold_) return false;
+    NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
+
+    Envelope header;
+    header.source = rank_;
+    header.tag = tag;
+    header.context = context;
+
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(dest)];
+    std::unique_lock<std::mutex> lk(box.mu);
+    auto it = box.posted.begin();
+    while (it != box.posted.end() && !detail::matches(**it, header)) ++it;
+    if (it == box.posted.end()) return false;  // unposted: degrade to buffered eager
+    std::shared_ptr<RequestState> r = *it;
+    NNCOMM_CHECK_MSG(total <= r->type.size() * r->count, "message longer than receive buffer");
+    box.posted.erase(it);
+
+    // The copy runs while box.mu pins the request: the receiver's wait()
+    // cannot observe a half-written buffer, an aborting world cannot unwind
+    // the receive out from under us, and the mutex hand-off gives the bytes
+    // their happens-before edge into the receiving thread.
+    const auto& sflat = type.flat();
+    const bool sdense =
+        sflat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
+    const auto& rflat = r->type.flat();
+    const bool rdense =
+        rflat.contiguous() && static_cast<std::ptrdiff_t>(r->type.size()) == r->type.extent();
+    auto* rbase = static_cast<std::byte*>(r->buf);
+
+    if (sdense && rdense) {
+        PhaseScope scope(timers_, Phase::Comm);
+        std::memcpy(rbase, buf, total);
+    } else if (!sdense && rdense) {
+        // Gather: scattered sender layout into flat destination memory.
+        const dt::PackPlan& plan = type.plan();
+        if (engine_config_.enable_plan_fastpath && plan.specialized()) {
+            PhaseScope scope(timers_, Phase::Pack);
+            ++counters_.plan_hits;
+            plan.pack(sflat, static_cast<const std::byte*>(buf), count, {rbase, total});
+        } else {
+            auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
+            std::size_t off = 0;
+            dt::ChunkView chunk;
+            while (engine->next_chunk(chunk)) {
+                PhaseScope scope(timers_, Phase::Comm);
+                if (chunk.dense) {
+                    for (const auto& [ptr, len] : chunk.iov) {
+                        std::memcpy(rbase + off, ptr, len);
+                        off += len;
+                    }
+                } else {
+                    std::memcpy(rbase + off, chunk.packed.data(), chunk.packed.size());
+                    off += chunk.packed.size();
+                }
+            }
+            NNCOMM_CHECK(off == total);
+            timers_ += engine->timers();
+            counters_ += engine->counters();
+        }
+    } else if (sdense && !rdense) {
+        // Scatter: flat sender memory into the receiver's layout.
+        const std::span<const std::byte> src(static_cast<const std::byte*>(buf), total);
+        const dt::PackPlan& rplan = r->type.plan();
+        PhaseScope scope(timers_, Phase::Pack);
+        if (rplan.specialized()) {
+            ++counters_.plan_hits;
+            rplan.unpack(rflat, rbase, r->count, src);
+        } else {
+            dt::TypeCursor cur(&rflat, r->count);
+            const std::size_t n = dt::unpack_bytes(rbase, cur, src);
+            NNCOMM_CHECK(n == total);
+        }
+    } else {
+        // Both sides noncontiguous: the engine streams packed chunks out of
+        // the sender layout and each chunk scatters straight into the
+        // receiver layout at its running stream position — still one pass
+        // over the payload with no staging buffer.
+        auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
+        const dt::PackPlan& rplan = r->type.plan();
+        const bool rspec = rplan.specialized();
+        if (rspec) ++counters_.plan_hits;
+        dt::TypeCursor cur(&rflat, r->count);
+        std::uint64_t pos = 0;
+        auto scatter = [&](const std::byte* p, std::size_t len) {
+            const std::span<const std::byte> piece(p, len);
+            if (rspec) {
+                rplan.unpack_range(rflat, rbase, r->count, pos, piece);
+            } else {
+                const std::size_t n = dt::unpack_bytes(rbase, cur, piece);
+                NNCOMM_CHECK(n == len);
+            }
+            pos += len;
+        };
+        dt::ChunkView chunk;
+        while (engine->next_chunk(chunk)) {
+            PhaseScope scope(timers_, Phase::Pack);
+            if (chunk.dense) {
+                for (const auto& [ptr, len] : chunk.iov) scatter(ptr, len);
+            } else {
+                scatter(chunk.packed.data(), chunk.packed.size());
+            }
+        }
+        NNCOMM_CHECK(pos == total);
+        timers_ += engine->timers();
+        counters_ += engine->counters();
+    }
+
+    r->env = std::move(header);  // header only: carries source/tag for RecvStatus
+    r->direct_bytes = total;
+    r->zero_copy = true;
+    r->matched = true;
+    lk.unlock();
+    box.cv.notify_all();
+    ++counters_.rt_zero_copy_msgs;
+    counters_.rt_bytes_copied += total;  // the single pass
+    return true;
+}
 
 std::size_t Comm::progress() {
     if (!world_->policy.enabled) return 0;
@@ -280,25 +533,34 @@ std::size_t Comm::progress() {
 }
 
 void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                    int tag, int context) {
+                    int tag, int context, Protocol proto) {
     if (!world_->policy.enabled) {
-        // Eager fast path — identical to the unperturbed runtime: pack and
-        // hand straight to the destination mailbox, no request state.
-        Envelope env = pack_envelope(buf, count, type, tag, context, rank_, engine_kind_,
-                                     engine_config_, timers_, counters_);
+        // Zero-copy rendezvous when the receive is already posted; otherwise
+        // the eager fast path — identical to the unperturbed runtime: pack
+        // and hand straight to the destination mailbox, no request state.
+        if (try_rendezvous(buf, count, type, dest, tag, context, proto)) return;
+        Envelope env = pack_envelope(buf, count, type, tag, context);
         PhaseScope scope(timers_, Phase::Comm);
         detail::deliver(*world_, dest, std::move(env));
         return;
     }
-    Request r = isend_ctx(buf, count, type, dest, tag, context);
+    Request r = isend_ctx(buf, count, type, dest, tag, context, proto);
     wait(r);
 }
 
 Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                        int tag, int context) {
+                        int tag, int context, Protocol proto) {
     NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
-    Envelope env = pack_envelope(buf, count, type, tag, context, rank_, engine_kind_,
-                                 engine_config_, timers_, counters_);
+    if (!world_->policy.enabled && try_rendezvous(buf, count, type, dest, tag, context, proto)) {
+        // Transfer already completed into the receiver's buffer.
+        auto done = std::make_shared<RequestState>();
+        done->kind = RequestState::Kind::Send;
+        done->owner_rank = rank_;
+        done->delivered.store(true, std::memory_order_release);
+        done->complete = true;
+        return Request(std::move(done));
+    }
+    Envelope env = pack_envelope(buf, count, type, tag, context);
     auto req = std::make_shared<RequestState>();
     req->kind = RequestState::Kind::Send;
     req->owner_rank = rank_;
@@ -434,10 +696,21 @@ RecvStatus Comm::wait(Request& request) {
         }
     }
 
+    if (req.zero_copy) {
+        // Rendezvous: the sender already moved the payload straight into
+        // req.buf; the envelope is a header. Nothing left to unpack.
+        req.status.source = req.env.source;
+        req.status.tag = req.env.tag;
+        req.status.bytes = req.direct_bytes;
+        req.complete = true;
+        return req.status;
+    }
+
     // Unpack outside the lock; only this rank's thread touches req now.
     const std::size_t capacity = req.type.size() * req.count;
     NNCOMM_CHECK_MSG(req.env.payload.size() <= capacity, "message longer than receive buffer");
     if (!req.env.payload.empty()) {
+        counters_.rt_bytes_copied += req.env.payload.size();  // receive-side copy
         const auto& flat = req.type.flat();
         if (flat.contiguous() && static_cast<std::ptrdiff_t>(req.type.size()) == req.type.extent()) {
             PhaseScope scope(timers_, Phase::Comm);
@@ -463,8 +736,7 @@ RecvStatus Comm::wait(Request& request) {
     req.status.source = req.env.source;
     req.status.tag = req.env.tag;
     req.status.bytes = req.env.payload.size();
-    req.env.payload.clear();
-    req.env.payload.shrink_to_fit();
+    world_->pool.release(std::move(req.env.payload));  // recycle for future sends
     req.complete = true;
     return req.status;
 }
@@ -491,8 +763,8 @@ RecvStatus Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
 }
 
 void Comm::send_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                  int tag) {
-    send_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset);
+                  int tag, Protocol proto) {
+    send_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset, proto);
 }
 
 RecvStatus Comm::recv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
@@ -502,8 +774,9 @@ RecvStatus Comm::recv_i(void* buf, std::size_t count, const dt::Datatype& type, 
 }
 
 Request Comm::isend_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                      int tag) {
-    return isend_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset);
+                      int tag, Protocol proto) {
+    return isend_ctx(buf, count, type, dest, tag, context_ + detail::kInternalContextOffset,
+                     proto);
 }
 
 Request Comm::irecv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
@@ -514,9 +787,9 @@ Request Comm::irecv_i(void* buf, std::size_t count, const dt::Datatype& type, in
 RecvStatus Comm::sendrecv_i(const void* sendbuf, std::size_t sendcount,
                             const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
                             std::size_t recvcount, const dt::Datatype& recvtype, int source,
-                            int recvtag) {
+                            int recvtag, Protocol proto) {
     Request r = irecv_i(recvbuf, recvcount, recvtype, source, recvtag);
-    send_i(sendbuf, sendcount, sendtype, dest, sendtag);
+    send_i(sendbuf, sendcount, sendtype, dest, sendtag, proto);
     return wait(r);
 }
 
@@ -589,6 +862,7 @@ Comm Comm::dup() {
     Comm c(world_, rank_, child);
     c.engine_kind_ = engine_kind_;
     c.engine_config_ = engine_config_;
+    c.rendezvous_threshold_ = rendezvous_threshold_;
     return c;
 }
 

@@ -24,8 +24,29 @@
 // wait/waitall/probe/iprobe drive, with seeded schedule perturbation and
 // fault injection (runtime/schedule.hpp). That is how the test suite makes
 // latent message-matching bugs reachable.
+//
+// The send path runs a two-protocol split mirroring real MPI stacks'
+// eager/rendezvous designs:
+//
+//   rendezvous — a message at or above the communicator's
+//     rendezvous_threshold whose matching receive is already posted is
+//     moved straight into the receiver's buffer in a single pass: one
+//     memcpy for contiguous layouts, a direct plan/engine-driven
+//     gather/scatter for noncontiguous ones. No envelope, no intermediate
+//     payload allocation (rt_zero_copy_msgs counts these).
+//
+//   buffered eager — everything else (small messages, unposted receives,
+//     and every send under an active SchedulePolicy, which must route
+//     through the in-flight queue) stages its payload in an envelope whose
+//     buffer comes from a per-world size-classed pool recycled at receive
+//     completion (rt_pool_hits / rt_pool_misses / rt_payload_allocs).
+//
+// Collectives pass explicit Protocol hints so algorithm knowledge (the
+// large bin of binned alltoallw, the bulk phases of allgatherv) overrides
+// the size heuristic; user point-to-point traffic uses Protocol::Auto.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
@@ -40,6 +61,24 @@ namespace nncomm::rt {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Transfer-protocol selector for one send. Auto applies the size
+/// heuristic (rendezvous at or above the communicator's threshold); Eager
+/// and Rendezvous force the respective path regardless of size. A
+/// rendezvous attempt always degrades to buffered eager when the matching
+/// receive is not posted yet or a SchedulePolicy is active, so a hint can
+/// never deadlock or reorder anything — it only changes which copy path
+/// moves the bytes.
+enum class Protocol { Auto, Eager, Rendezvous };
+
+/// Default rendezvous threshold (bytes). Overridable per communicator via
+/// Comm::set_rendezvous_threshold and at build time via the
+/// NNCOMM_RENDEZVOUS CMake option (OFF compiles the default to "never").
+#if defined(NNCOMM_RENDEZVOUS_THRESHOLD)
+inline constexpr std::size_t kDefaultRendezvousThreshold = NNCOMM_RENDEZVOUS_THRESHOLD;
+#else
+inline constexpr std::size_t kDefaultRendezvousThreshold = 32 * 1024;
+#endif
 /// Tags >= kInternalTagBase are reserved for collective implementations.
 inline constexpr int kInternalTagBase = 1 << 24;
 
@@ -81,6 +120,7 @@ struct ProbeStatus {
 namespace detail {
 struct WorldState;
 struct RequestState;
+struct Envelope;
 }  // namespace detail
 
 /// Handle to a pending nonblocking operation. Value-semantic; copy shares
@@ -108,6 +148,11 @@ public:
     dt::EngineKind engine_kind() const { return engine_kind_; }
     void set_engine_config(const dt::EngineConfig& cfg) { engine_config_ = cfg; }
     const dt::EngineConfig& engine_config() const { return engine_config_; }
+    /// Message size (bytes) at which Protocol::Auto sends attempt the
+    /// zero-copy rendezvous path. 0 makes every nonempty send attempt it;
+    /// SIZE_MAX disables the protocol for this communicator.
+    void set_rendezvous_threshold(std::size_t bytes) { rendezvous_threshold_ = bytes; }
+    std::size_t rendezvous_threshold() const { return rendezvous_threshold_; }
 
     // -- blocking point-to-point ---------------------------------------------
     void send(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag);
@@ -146,17 +191,21 @@ public:
     // -- internal-context point-to-point ---------------------------------------
     // Used by collective implementations (src/coll). Identical semantics to
     // the public operations but matched on a shifted context, so collective
-    // traffic can never be stolen by user-posted wildcard receives.
-    void send_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag);
+    // traffic can never be stolen by user-posted wildcard receives. The
+    // Protocol parameter is the volume hint collectives thread through:
+    // phases known to move bulk data force Rendezvous, latency-bound small
+    // phases force Eager, and Auto falls back to the size heuristic.
+    void send_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag,
+                Protocol proto = Protocol::Auto);
     RecvStatus recv_i(void* buf, std::size_t count, const dt::Datatype& type, int source,
                       int tag);
     Request isend_i(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                    int tag);
+                    int tag, Protocol proto = Protocol::Auto);
     Request irecv_i(void* buf, std::size_t count, const dt::Datatype& type, int source, int tag);
     RecvStatus sendrecv_i(const void* sendbuf, std::size_t sendcount,
                           const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
                           std::size_t recvcount, const dt::Datatype& recvtype, int source,
-                          int recvtag);
+                          int recvtag, Protocol proto = Protocol::Auto);
 
     // -- convenience typed sends (contiguous arrays) --------------------------
     template <typename T>
@@ -200,9 +249,13 @@ private:
     Request irecv_ctx(void* buf, std::size_t count, const dt::Datatype& type, int source,
                       int tag, int context);
     void send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                  int tag, int context);
+                  int tag, int context, Protocol proto = Protocol::Auto);
     Request isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                      int tag, int context);
+                      int tag, int context, Protocol proto = Protocol::Auto);
+    detail::Envelope pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
+                                   int tag, int context);
+    bool try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
+                        int tag, int context, Protocol proto);
     /// Drains deliverable in-flight envelopes (no-op when the schedule
     /// policy is off). Returns the number of envelopes delivered.
     std::size_t progress();
@@ -212,6 +265,7 @@ private:
     int context_ = 0;
     int dup_count_ = 0;  ///< children created from this communicator
     int collective_epoch_ = 0;
+    std::size_t rendezvous_threshold_ = kDefaultRendezvousThreshold;
     dt::EngineKind engine_kind_ = dt::EngineKind::DualContext;
     dt::EngineConfig engine_config_{};
     PhaseTimers timers_;

@@ -7,10 +7,16 @@
 // schedules, and the regression tests for the epoch-tag and barrier-partner
 // fixes live here because only a perturbed schedule makes those bugs
 // reachable.
+// The whole matrix additionally sweeps the transfer protocol: threshold 0
+// (every nonempty send attempts zero-copy rendezvous) and threshold
+// SIZE_MAX (pure buffered eager). Under an active SchedulePolicy the
+// rendezvous path must degrade cleanly to buffered delivery, so both
+// settings have to produce identical results on every schedule.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <tuple>
@@ -43,25 +49,37 @@ using rt::World;
 // a failure names its (seed, level) pair in the test name.
 constexpr std::uint64_t kSeeds[] = {1, 7, 23, 42, 101, 271, 1009, 65537};
 
-class Perturbed : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {
+// Both protocol extremes: 0 = every nonempty send attempts rendezvous,
+// SIZE_MAX = pure buffered eager. Under a deferring SchedulePolicy both
+// must behave identically (rendezvous degrades to buffered).
+constexpr std::size_t kThresholds[] = {0, std::numeric_limits<std::size_t>::max()};
+
+class Perturbed
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, std::size_t>> {
 protected:
     std::uint64_t seed() const { return std::get<0>(GetParam()); }
     int level() const { return std::get<1>(GetParam()); }
+    std::size_t threshold() const { return std::get<2>(GetParam()); }
     SchedulePolicy policy() const { return SchedulePolicy::perturb(seed(), level()); }
 };
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Perturbed,
                          ::testing::Combine(::testing::ValuesIn(kSeeds),
-                                            ::testing::Values(1, 2, 3)));
+                                            ::testing::Values(1, 2, 3),
+                                            ::testing::ValuesIn(kThresholds)));
 
 // Level-2-only sweep for the heavier fixtures (scatter backends, persistent
-// plans, netsim-routed schedules).
-class PerturbedSeed : public ::testing::TestWithParam<std::uint64_t> {
+// plans, netsim-routed schedules), still crossed with both protocols.
+class PerturbedSeed
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
 protected:
-    std::uint64_t seed() const { return GetParam(); }
+    std::uint64_t seed() const { return std::get<0>(GetParam()); }
+    std::size_t threshold() const { return std::get<1>(GetParam()); }
 };
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PerturbedSeed, ::testing::ValuesIn(kSeeds));
+INSTANTIATE_TEST_SUITE_P(Seeds, PerturbedSeed,
+                         ::testing::Combine(::testing::ValuesIn(kSeeds),
+                                            ::testing::ValuesIn(kThresholds)));
 
 // ---------------------------------------------------------------------------
 // point-to-point under perturbation
@@ -75,6 +93,7 @@ TEST_P(Perturbed, UserFifoPreservedAndEventsRecorded) {
     w.set_schedule(policy());
     std::atomic<std::uint64_t> pending{0}, deferrals{0};
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         const int n = c.size();
         const int to = (c.rank() + 1) % n;
         const int from = (c.rank() + n - 1) % n;
@@ -105,6 +124,7 @@ TEST_P(Perturbed, ProbeSeesPendingDeliveries) {
     World w(2);
     w.set_schedule(policy());
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         if (c.rank() == 0) {
             const int v = 31;
             c.send_n(&v, 1, 1, 17);
@@ -131,6 +151,7 @@ TEST_P(Perturbed, BasicCollectivesAgree) {
     World w(n);
     w.set_schedule(policy());
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         // bcast
         std::vector<int> b(8, c.rank() == 2 ? 99 : -1);
         coll::bcast(c, b.data(), b.size() * 4, Datatype::byte(), 2);
@@ -182,8 +203,9 @@ TEST_P(Perturbed, BasicCollectivesAgree) {
     });
 }
 
-void check_allgatherv(World& w, int n, AllgathervAlgo algo) {
+void check_allgatherv(World& w, int n, AllgathervAlgo algo, std::size_t thr) {
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(thr);
         CollConfig cfg;
         cfg.allgatherv_algo = algo;
         std::vector<std::size_t> counts(static_cast<std::size_t>(n));
@@ -213,14 +235,14 @@ TEST_P(Perturbed, AllgathervEveryAlgorithm) {
     {
         World w(5);
         w.set_schedule(policy());
-        check_allgatherv(w, 5, AllgathervAlgo::Ring);
-        check_allgatherv(w, 5, AllgathervAlgo::Dissemination);
-        check_allgatherv(w, 5, AllgathervAlgo::Auto);
+        check_allgatherv(w, 5, AllgathervAlgo::Ring, threshold());
+        check_allgatherv(w, 5, AllgathervAlgo::Dissemination, threshold());
+        check_allgatherv(w, 5, AllgathervAlgo::Auto, threshold());
     }
     {
         World w(8);  // recursive doubling needs power-of-two ranks
         w.set_schedule(policy());
-        check_allgatherv(w, 8, AllgathervAlgo::RecursiveDoubling);
+        check_allgatherv(w, 8, AllgathervAlgo::RecursiveDoubling, threshold());
     }
 }
 
@@ -275,6 +297,7 @@ TEST_P(Perturbed, AlltoallwBothAlgorithms) {
     World w(5);
     w.set_schedule(policy());
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         check_alltoallw(c, AlltoallwAlgo::RoundRobin, 1);
         check_alltoallw(c, AlltoallwAlgo::Binned, 2);
     });
@@ -290,6 +313,7 @@ TEST_P(Perturbed, ConsecutiveBinnedAlltoallwDoNotAlias) {
     World w(6);
     w.set_schedule(policy());
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         for (int call = 0; call < 6; ++call) {
             check_alltoallw(c, AlltoallwAlgo::Binned, call + 3);
         }
@@ -307,6 +331,7 @@ TEST_P(Perturbed, BarrierStormNonPowerOfTwoRanks) {
         std::atomic<int> phase{0};
         std::atomic<int> arrived{0};
         w.run([&](Comm& c) {
+            c.set_rendezvous_threshold(threshold());
             for (int r = 0; r < kRounds; ++r) {
                 EXPECT_EQ(phase.load(), r) << "n=" << n;
                 if (arrived.fetch_add(1) + 1 == c.size()) {
@@ -330,6 +355,7 @@ TEST_P(Perturbed, RootCauseErrorWinsOverSecondaryAborts) {
     bool caught = false;
     try {
         w.run([&](Comm& c) {
+            c.set_rendezvous_threshold(threshold());
             switch (c.rank()) {
                 case 0: {
                     int v = 0;
@@ -372,6 +398,7 @@ TEST_P(PerturbedSeed, VecScatterEveryBackendForwardAndReverse) {
             World w(4);
             w.set_schedule(SchedulePolicy::perturb(seed(), 2));
             w.run([&](Comm& c) {
+                c.set_rendezvous_threshold(threshold());
                 const Index n = 24;
                 Vec src(c, n), dst(c, n);
                 for (Index i = src.range().begin; i < src.range().end; ++i) {
@@ -408,6 +435,7 @@ TEST_P(PerturbedSeed, PersistentPlanRepeatedExecutes) {
     World w(n);
     w.set_schedule(SchedulePolicy::perturb(seed(), 3));
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         const auto un = static_cast<std::size_t>(n);
         // Fixed nonuniform shape, contiguous int blocks.
         std::vector<std::size_t> scounts(un), rcounts(un);
@@ -461,6 +489,7 @@ TEST_P(PerturbedSeed, NetsimRoutedScheduleDrivesCollectives) {
     w.set_schedule(pol);
     std::atomic<std::uint64_t> deferrals{0};
     w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
         check_alltoallw(c, AlltoallwAlgo::Binned, 9);
         long v = c.rank();
         coll::allreduce(c, &v, 1, ReduceOp::Sum);
