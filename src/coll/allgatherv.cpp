@@ -1,171 +1,23 @@
 // MPI_Allgatherv with selectable algorithms (paper §4.2.1).
-#include <algorithm>
-#include <bit>
-#include <numeric>
+//
+// The algorithms themselves (ring, recursive doubling, dissemination and
+// the Eq. 1 Auto selection) live in schedule.cpp as Schedule builders; the
+// blocking entry point here is a build + start + wait wrapper around
+// iallgatherv and produces byte-identical results.
+#include <vector>
 
 #include "coll/collectives.hpp"
-#include "coll/util.hpp"
+#include "coll/schedule.hpp"
 
 namespace nncomm::coll {
-
-namespace {
-
-constexpr int kTagBase = rt::kInternalTagBase + 0x100;
-
-struct GathervArgs {
-    rt::Comm* comm;
-    void* recvbuf;
-    std::span<const std::size_t> recvcounts;
-    std::span<const std::size_t> displs;
-    const dt::Datatype* recvtype;
-    int tag_base;  ///< kTagBase shifted into this invocation's epoch lane
-};
-
-std::byte* block_ptr(const GathervArgs& a, int b) {
-    return static_cast<std::byte*>(a.recvbuf) +
-           static_cast<std::ptrdiff_t>(a.displs[static_cast<std::size_t>(b)]) *
-               a.recvtype->extent();
-}
-
-std::size_t block_count(const GathervArgs& a, int b) {
-    return a.recvcounts[static_cast<std::size_t>(b)];
-}
-
-// Volume hint for one phase: the algorithm knows exactly how many bytes a
-// step moves, so bulk steps ride the zero-copy rendezvous path (the peer's
-// sendrecv_i posts its receive before sending) and small latency-bound
-// steps stay eager without consulting the size heuristic per message.
-rt::Protocol phase_protocol(const rt::Comm& comm, std::size_t bytes) {
-    return bytes >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
-                                                : rt::Protocol::Eager;
-}
-
-// Ring algorithm: N-1 steps; at step s each rank forwards the block it
-// received in the previous step. One outlier-sized block travels the whole
-// ring sequentially — the behaviour of the paper's Figure 8.
-void allgatherv_ring(const GathervArgs& a) {
-    rt::Comm& comm = *a.comm;
-    const int n = comm.size();
-    const int rank = comm.rank();
-    const int right = (rank + 1) % n;
-    const int left = (rank + n - 1) % n;
-    for (int s = 0; s < n - 1; ++s) {
-        const int send_block = (rank - s + n) % n;
-        const int recv_block = (rank - s - 1 + n) % n;
-        comm.sendrecv_i(block_ptr(a, send_block), block_count(a, send_block), *a.recvtype,
-                        right, a.tag_base + s, block_ptr(a, recv_block),
-                        block_count(a, recv_block), *a.recvtype, left, a.tag_base + s,
-                        phase_protocol(comm, block_count(a, send_block) * a.recvtype->size()));
-    }
-}
-
-// Recursive doubling (power-of-two ranks): log2 N phases, each rank
-// exchanging its aligned group of blocks with its partner's group. An
-// outlier block propagates along a binomial tree instead of a ring.
-void allgatherv_recursive_doubling(const GathervArgs& a) {
-    rt::Comm& comm = *a.comm;
-    const int n = comm.size();
-    const int rank = comm.rank();
-    NNCOMM_CHECK_MSG((n & (n - 1)) == 0, "recursive doubling needs power-of-two ranks");
-    int phase = 0;
-    for (int mask = 1; mask < n; mask <<= 1, ++phase) {
-        const int partner = rank ^ mask;
-        const int my_first = rank & ~(mask - 1);
-        const int peer_first = partner & ~(mask - 1);
-        auto send_type =
-            detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, my_first, mask);
-        auto recv_type =
-            detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, peer_first, mask);
-        comm.sendrecv_i(a.recvbuf, 1, send_type, partner, a.tag_base + 0x40 + phase,
-                        a.recvbuf, 1, recv_type, partner, a.tag_base + 0x40 + phase,
-                        phase_protocol(comm, send_type.size()));
-    }
-}
-
-// Dissemination (any rank count): ceil(log2 N) phases; in phase p rank i
-// sends its newest min(2^p, N - 2^p) blocks to (i + 2^p) mod N and receives
-// the matching range from (i - 2^p) mod N.
-void allgatherv_dissemination(const GathervArgs& a) {
-    rt::Comm& comm = *a.comm;
-    const int n = comm.size();
-    const int rank = comm.rank();
-    int phase = 0;
-    for (int step = 1; step < n; step <<= 1, ++phase) {
-        const int cnt = std::min(step, n - step);
-        const int to = (rank + step) % n;
-        const int from = (rank - step + n) % n;
-        auto send_type =
-            detail::block_range_type(a.recvcounts, a.displs, *a.recvtype, rank - cnt + 1, cnt);
-        auto recv_type = detail::block_range_type(a.recvcounts, a.displs, *a.recvtype,
-                                                  rank - step - cnt + 1, cnt);
-        comm.sendrecv_i(a.recvbuf, 1, send_type, to, a.tag_base + 0x80 + phase, a.recvbuf, 1,
-                        recv_type, from, a.tag_base + 0x80 + phase,
-                        phase_protocol(comm, send_type.size()));
-    }
-}
-
-}  // namespace
 
 void allgatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
                 const dt::Datatype& sendtype, void* recvbuf,
                 std::span<const std::size_t> recvcounts, std::span<const std::size_t> displs,
                 const dt::Datatype& recvtype, const CollConfig& config) {
-    const int n = comm.size();
-    const int rank = comm.rank();
-    NNCOMM_CHECK_MSG(recvcounts.size() == static_cast<std::size_t>(n) &&
-                         displs.size() == static_cast<std::size_t>(n),
-                     "allgatherv: recvcounts/displs must have one entry per rank");
-    NNCOMM_CHECK_MSG(sendcount * sendtype.size() ==
-                         recvcounts[static_cast<std::size_t>(rank)] * recvtype.size(),
-                     "allgatherv: send size differs from this rank's recv block");
-
-    // Phase tags are folded into this invocation's epoch lane so that
-    // back-to-back allgatherv calls can never alias under asynchronous or
-    // reordered delivery.
-    GathervArgs a{&comm,    recvbuf,
-                  recvcounts, displs,
-                  &recvtype, rt::epoch_tag(kTagBase, comm.next_collective_epoch())};
-
-    // Place the local contribution first; every algorithm forwards out of
-    // recvbuf.
-    detail::copy_typed(sendbuf, sendcount, sendtype, block_ptr(a, rank), block_count(a, rank),
-                       recvtype);
-    if (n == 1) return;
-
-    AllgathervAlgo algo = config.allgatherv_algo;
-    if (algo == AllgathervAlgo::Auto) {
-        // The paper's selection: compute the communication-volume set
-        // (available at every rank by definition of the operation), run the
-        // Eq. 1 outlier analysis, and avoid the ring when the set is
-        // nonuniform.
-        std::vector<std::uint64_t> volumes(static_cast<std::size_t>(n));
-        for (int i = 0; i < n; ++i) {
-            volumes[static_cast<std::size_t>(i)] =
-                static_cast<std::uint64_t>(recvcounts[static_cast<std::size_t>(i)]) *
-                recvtype.size();
-        }
-        const AllgathervPolicy policy{config.outlier, config.long_msg_total};
-        const bool pow2 = (n & (n - 1)) == 0;
-        if (allgatherv_use_ring(volumes, policy)) {
-            algo = AllgathervAlgo::Ring;
-        } else {
-            algo = pow2 ? AllgathervAlgo::RecursiveDoubling : AllgathervAlgo::Dissemination;
-        }
-    }
-
-    switch (algo) {
-        case AllgathervAlgo::Ring:
-            allgatherv_ring(a);
-            break;
-        case AllgathervAlgo::RecursiveDoubling:
-            allgatherv_recursive_doubling(a);
-            break;
-        case AllgathervAlgo::Dissemination:
-            allgatherv_dissemination(a);
-            break;
-        case AllgathervAlgo::Auto:
-            break;  // unreachable
-    }
+    iallgatherv(comm, sendbuf, sendcount, sendtype, recvbuf, recvcounts, displs, recvtype,
+                config)
+        .wait();
 }
 
 void allgather(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,

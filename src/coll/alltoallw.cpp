@@ -1,154 +1,24 @@
 // MPI_Alltoallw with selectable algorithms (paper §4.2.2).
-#include <algorithm>
-#include <numeric>
+//
+// The round-robin baseline and the paper's binned design live in
+// schedule.cpp as Schedule builders; the blocking entry point here is a
+// build + start + wait wrapper around ialltoallw and produces
+// byte-identical results.
 #include <vector>
 
 #include "coll/collectives.hpp"
-#include "coll/util.hpp"
+#include "coll/schedule.hpp"
 
 namespace nncomm::coll {
-
-namespace {
-
-constexpr int kTagBase = rt::kInternalTagBase + 0x200;
-
-// Baseline: blocking pairwise exchange with EVERY rank in round-robin
-// order, including zero-byte messages. Each step synchronizes the pair, so
-// zero-volume peers still cost a round trip, and a large noncontiguous
-// message to an early peer delays the packing for every later peer.
-void alltoallw_round_robin(rt::Comm& comm, const void* sendbuf,
-                           std::span<const std::size_t> sendcounts,
-                           std::span<const std::ptrdiff_t> sdispls,
-                           std::span<const dt::Datatype> sendtypes, void* recvbuf,
-                           std::span<const std::size_t> recvcounts,
-                           std::span<const std::ptrdiff_t> rdispls,
-                           std::span<const dt::Datatype> recvtypes, int epoch) {
-    const int n = comm.size();
-    const int rank = comm.rank();
-    const int tag_base = rt::epoch_tag(kTagBase, epoch);
-    for (int i = 0; i < n; ++i) {
-        const int dst = (rank + i) % n;
-        const int src = (rank - i + n) % n;
-        const auto d = static_cast<std::size_t>(dst);
-        const auto s = static_cast<std::size_t>(src);
-        const std::byte* sp = static_cast<const std::byte*>(sendbuf) + sdispls[d];
-        std::byte* rp = static_cast<std::byte*>(recvbuf) + rdispls[s];
-        if (i == 0) {
-            detail::copy_typed(sp, sendcounts[d], sendtypes[d], rp, recvcounts[s],
-                               recvtypes[s]);
-            continue;
-        }
-        comm.sendrecv_i(sp, sendcounts[d], sendtypes[d], dst, tag_base + i, rp, recvcounts[s],
-                        recvtypes[s], src, tag_base + i);
-    }
-}
-
-// The paper's binned design: peers are divided into zero / small / large
-// volume bins. Zero-volume peers are exempted entirely (no synchronizing
-// empty message); small-volume sends are processed (packed) before large
-// ones so cheap peers are not delayed behind expensive noncontiguous
-// packing.
-void alltoallw_binned(rt::Comm& comm, const void* sendbuf,
-                      std::span<const std::size_t> sendcounts,
-                      std::span<const std::ptrdiff_t> sdispls,
-                      std::span<const dt::Datatype> sendtypes, void* recvbuf,
-                      std::span<const std::size_t> recvcounts,
-                      std::span<const std::ptrdiff_t> rdispls,
-                      std::span<const dt::Datatype> recvtypes, const CollConfig& config,
-                      int epoch) {
-    const int n = comm.size();
-    const int rank = comm.rank();
-    // One tag per invocation: sends are fire-and-forget nonblocking, so a
-    // straggler from a previous binned call can still be in flight when the
-    // next call posts its receives — the epoch keeps them from aliasing.
-    const int tag = rt::epoch_tag(kTagBase + 0x80, epoch);
-
-    // Post all nonzero receives up front.
-    std::vector<rt::Request> recv_reqs;
-    recv_reqs.reserve(static_cast<std::size_t>(n));
-    for (int src = 0; src < n; ++src) {
-        if (src == rank) continue;
-        const auto s = static_cast<std::size_t>(src);
-        if (recvcounts[s] * recvtypes[s].size() == 0) continue;
-        std::byte* rp = static_cast<std::byte*>(recvbuf) + rdispls[s];
-        recv_reqs.push_back(comm.irecv_i(rp, recvcounts[s], recvtypes[s], src, tag));
-    }
-
-    // Local exchange.
-    {
-        const auto r = static_cast<std::size_t>(rank);
-        if (sendcounts[r] * sendtypes[r].size() > 0) {
-            detail::copy_typed(static_cast<const std::byte*>(sendbuf) + sdispls[r],
-                               sendcounts[r], sendtypes[r],
-                               static_cast<std::byte*>(recvbuf) + rdispls[r], recvcounts[r],
-                               recvtypes[r]);
-        }
-    }
-
-    // Bin peers by send volume: zero (exempt), small, large. Within each
-    // bin, smallest volume first, so the cheapest peers unblock earliest.
-    struct Peer {
-        int rank;
-        std::uint64_t volume;
-    };
-    std::vector<Peer> small_bin, large_bin;
-    for (int dst = 0; dst < n; ++dst) {
-        if (dst == rank) continue;
-        const auto d = static_cast<std::size_t>(dst);
-        const std::uint64_t vol =
-            static_cast<std::uint64_t>(sendcounts[d]) * sendtypes[d].size();
-        if (vol == 0) continue;  // the zero bin: completely exempted
-        if (vol < config.small_msg_threshold) small_bin.push_back({dst, vol});
-        else large_bin.push_back({dst, vol});
-    }
-    auto by_volume = [](const Peer& a, const Peer& b) {
-        return a.volume < b.volume || (a.volume == b.volume && a.rank < b.rank);
-    };
-    std::sort(small_bin.begin(), small_bin.end(), by_volume);
-    std::sort(large_bin.begin(), large_bin.end(), by_volume);
-
-    // The binning already separates latency-bound from bandwidth-bound
-    // peers, so it doubles as the protocol decision: the small bin stays on
-    // buffered eager, the large bin is hinted onto the zero-copy rendezvous
-    // path (every peer posted its receives up front, so the posted-receive
-    // precondition usually holds by the time the large sends fire).
-    for (const Peer& p : small_bin) {
-        const auto d = static_cast<std::size_t>(p.rank);
-        comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
-                     sendtypes[d], p.rank, tag, rt::Protocol::Eager);
-    }
-    for (const Peer& p : large_bin) {
-        const auto d = static_cast<std::size_t>(p.rank);
-        comm.isend_i(static_cast<const std::byte*>(sendbuf) + sdispls[d], sendcounts[d],
-                     sendtypes[d], p.rank, tag, rt::Protocol::Rendezvous);
-    }
-
-    comm.waitall(recv_reqs);
-}
-
-}  // namespace
 
 void alltoallw(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> sendcounts,
                std::span<const std::ptrdiff_t> sdispls, std::span<const dt::Datatype> sendtypes,
                void* recvbuf, std::span<const std::size_t> recvcounts,
                std::span<const std::ptrdiff_t> rdispls, std::span<const dt::Datatype> recvtypes,
                const CollConfig& config) {
-    const auto n = static_cast<std::size_t>(comm.size());
-    NNCOMM_CHECK_MSG(sendcounts.size() == n && sdispls.size() == n && sendtypes.size() == n &&
-                         recvcounts.size() == n && rdispls.size() == n && recvtypes.size() == n,
-                     "alltoallw: all argument arrays must have one entry per rank");
-
-    const int epoch = comm.next_collective_epoch();
-    const AlltoallwAlgo algo = (config.alltoallw_algo == AlltoallwAlgo::Auto)
-                                   ? AlltoallwAlgo::Binned
-                                   : config.alltoallw_algo;
-    if (algo == AlltoallwAlgo::RoundRobin) {
-        alltoallw_round_robin(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf,
-                              recvcounts, rdispls, recvtypes, epoch);
-    } else {
-        alltoallw_binned(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf, recvcounts,
-                         rdispls, recvtypes, config, epoch);
-    }
+    ialltoallw(comm, sendbuf, sendcounts, sdispls, sendtypes, recvbuf, recvcounts, rdispls,
+               recvtypes, config)
+        .wait();
 }
 
 void alltoall(rt::Comm& comm, const void* sendbuf, std::size_t count, const dt::Datatype& type,

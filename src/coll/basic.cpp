@@ -1,72 +1,25 @@
 // Rooted collectives: binomial broadcast, gather(v), scatter(v).
+//
+// The tree/fan patterns live in schedule.cpp as Schedule builders; the
+// blocking entry points here are build + start + wait wrappers around the
+// icoll functions and produce byte-identical results.
+#include <vector>
+
 #include "coll/collectives.hpp"
-#include "coll/util.hpp"
+#include "coll/schedule.hpp"
 
 namespace nncomm::coll {
 
-namespace {
-constexpr int kTagBcast = rt::kInternalTagBase + 0x300;
-constexpr int kTagGather = rt::kInternalTagBase + 0x301;
-constexpr int kTagScatter = rt::kInternalTagBase + 0x302;
-}  // namespace
-
 void bcast(rt::Comm& comm, void* buf, std::size_t count, const dt::Datatype& type, int root) {
-    const int tag = rt::epoch_tag(kTagBcast, comm.next_collective_epoch());
-    const int n = comm.size();
-    const int rank = comm.rank();
-    NNCOMM_CHECK_MSG(root >= 0 && root < n, "bcast: invalid root");
-    if (n == 1) return;
-    const int vrank = (rank - root + n) % n;
-
-    // Receive once from the parent (the rank that differs in the lowest set
-    // bit), then forward down the binomial tree.
-    int mask = 1;
-    while (mask < n) {
-        if ((vrank & mask) != 0) {
-            const int src = ((vrank - mask) + root) % n;
-            comm.recv_i(buf, count, type, src, tag);
-            break;
-        }
-        mask <<= 1;
-    }
-    mask >>= 1;
-    while (mask > 0) {
-        if (vrank + mask < n) {
-            const int dst = ((vrank + mask) + root) % n;
-            comm.send_i(buf, count, type, dst, tag);
-        }
-        mask >>= 1;
-    }
+    ibcast(comm, buf, count, type, root).wait();
 }
 
 void gatherv(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
              const dt::Datatype& sendtype, void* recvbuf,
              std::span<const std::size_t> recvcounts, std::span<const std::size_t> displs,
              const dt::Datatype& recvtype, int root) {
-    const int tag = rt::epoch_tag(kTagGather, comm.next_collective_epoch());
-    const int n = comm.size();
-    const int rank = comm.rank();
-    NNCOMM_CHECK_MSG(root >= 0 && root < n, "gatherv: invalid root");
-    if (rank != root) {
-        comm.send_i(sendbuf, sendcount, sendtype, root, tag);
-        return;
-    }
-    NNCOMM_CHECK_MSG(recvcounts.size() == static_cast<std::size_t>(n) &&
-                         displs.size() == static_cast<std::size_t>(n),
-                     "gatherv: root needs one count/displacement per rank");
-    std::vector<rt::Request> reqs;
-    reqs.reserve(static_cast<std::size_t>(n - 1));
-    for (int i = 0; i < n; ++i) {
-        const auto s = static_cast<std::size_t>(i);
-        std::byte* dst = static_cast<std::byte*>(recvbuf) +
-                         static_cast<std::ptrdiff_t>(displs[s]) * recvtype.extent();
-        if (i == rank) {
-            detail::copy_typed(sendbuf, sendcount, sendtype, dst, recvcounts[s], recvtype);
-        } else {
-            reqs.push_back(comm.irecv_i(dst, recvcounts[s], recvtype, i, tag));
-        }
-    }
-    comm.waitall(reqs);
+    igatherv(comm, sendbuf, sendcount, sendtype, recvbuf, recvcounts, displs, recvtype, root)
+        .wait();
 }
 
 void gather(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
@@ -86,27 +39,8 @@ void gather(rt::Comm& comm, const void* sendbuf, std::size_t sendcount,
 void scatterv(rt::Comm& comm, const void* sendbuf, std::span<const std::size_t> sendcounts,
               std::span<const std::size_t> displs, const dt::Datatype& sendtype, void* recvbuf,
               std::size_t recvcount, const dt::Datatype& recvtype, int root) {
-    const int tag = rt::epoch_tag(kTagScatter, comm.next_collective_epoch());
-    const int n = comm.size();
-    const int rank = comm.rank();
-    NNCOMM_CHECK_MSG(root >= 0 && root < n, "scatterv: invalid root");
-    if (rank != root) {
-        comm.recv_i(recvbuf, recvcount, recvtype, root, tag);
-        return;
-    }
-    NNCOMM_CHECK_MSG(sendcounts.size() == static_cast<std::size_t>(n) &&
-                         displs.size() == static_cast<std::size_t>(n),
-                     "scatterv: root needs one count/displacement per rank");
-    for (int i = 0; i < n; ++i) {
-        const auto s = static_cast<std::size_t>(i);
-        const std::byte* src = static_cast<const std::byte*>(sendbuf) +
-                               static_cast<std::ptrdiff_t>(displs[s]) * sendtype.extent();
-        if (i == rank) {
-            detail::copy_typed(src, sendcounts[s], sendtype, recvbuf, recvcount, recvtype);
-        } else {
-            comm.send_i(src, sendcounts[s], sendtype, i, tag);
-        }
-    }
+    iscatterv(comm, sendbuf, sendcounts, displs, sendtype, recvbuf, recvcount, recvtype, root)
+        .wait();
 }
 
 }  // namespace nncomm::coll

@@ -1,9 +1,7 @@
 #include "coll/persistent.hpp"
 
 #include <algorithm>
-#include <cstring>
-
-#include "datatype/pack.hpp"
+#include <vector>
 
 namespace nncomm::coll {
 
@@ -14,8 +12,10 @@ namespace {
 constexpr int kPersistentTagBase = rt::kInternalTagBase + 0x500;
 /// Clear-to-send lane: zero-byte tokens receivers send once their large
 /// (rendezvous-bound) receives are posted. Zero-byte messages bypass the
-/// payload pool entirely, so the handshake itself allocates nothing.
-constexpr int kPersistentCtsBase = rt::kInternalTagBase + 0x580;
+/// payload pool entirely, so the handshake itself allocates nothing. The
+/// lane is an offset within the persistent tag space (0x500 + 0x80 keeps
+/// the old wire tags bit-for-bit).
+constexpr int kCtsOffset = 0x80;
 }  // namespace
 
 AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
@@ -32,6 +32,33 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
                      "AlltoallwPlan: all argument arrays must have one entry per rank");
     const int rank = comm.rank();
 
+    struct SendPeer {
+        int rank;
+        std::size_t count;
+        std::ptrdiff_t displ;
+        dt::Datatype type;
+        std::uint64_t bytes;
+        rt::Protocol proto;  ///< volume-derived, frozen at plan time
+    };
+    struct RecvPeer {
+        int rank;
+        std::size_t count;
+        std::ptrdiff_t displ;
+        dt::Datatype type;
+        std::uint64_t bytes;
+        /// Mirror of the sender's frozen Rendezvous decision (same volume,
+        /// same threshold): after posting this receive, the schedule sends
+        /// the source a zero-byte clear-to-send so the payload send always
+        /// finds the receive posted and the single-copy path never races.
+        bool cts;
+    };
+    std::vector<SendPeer> sends;
+    std::vector<RecvPeer> recvs;
+
+    bool has_self = false;
+    std::size_t self_i = 0;
+    std::uint64_t self_vol = 0;
+
     for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t svol =
             static_cast<std::uint64_t>(sendcounts[i]) * sendtypes[i].size();
@@ -40,30 +67,17 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
         if (static_cast<int>(i) == rank) {
             NNCOMM_CHECK_MSG(svol == rvol, "AlltoallwPlan: self send/recv volume mismatch");
             if (svol > 0) {
-                has_self_ = true;
-                self_scount_ = sendcounts[i];
-                self_rcount_ = recvcounts[i];
-                self_sdispl_ = sdispls[i];
-                self_rdispl_ = rdispls[i];
-                self_stype_ = sendtypes[i];
-                self_rtype_ = recvtypes[i];
-                self_buf_.resize(static_cast<std::size_t>(svol));
-                ++pending_setup_.scratch_allocs;
+                has_self = true;
+                self_i = i;
+                self_vol = svol;
             }
             continue;
         }
         if (svol > 0) {
-            SendPeer p;
-            p.rank = static_cast<int>(i);
-            p.count = sendcounts[i];
-            p.displ = sdispls[i];
-            p.type = sendtypes[i];
-            p.bytes = svol;
-            p.proto = svol >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
-                                                          : rt::Protocol::Eager;
-            p.packbuf.resize(static_cast<std::size_t>(svol));
-            ++pending_setup_.scratch_allocs;
-            sends_.push_back(std::move(p));
+            sends.push_back({static_cast<int>(i), sendcounts[i], sdispls[i], sendtypes[i],
+                             svol,
+                             svol >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
+                                                                 : rt::Protocol::Eager});
         }
         if (rvol > 0) {
             // Matching type signatures make rvol here equal svol on the
@@ -71,147 +85,150 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             // provided every rank runs the same rendezvous threshold (the
             // same uniformity every collective already demands of its
             // arguments).
-            recvs_.push_back(RecvPeer{static_cast<int>(i), recvcounts[i], rdispls[i],
-                                      recvtypes[i],
-                                      rvol >= comm.rendezvous_threshold()});
+            recvs.push_back({static_cast<int>(i), recvcounts[i], rdispls[i], recvtypes[i],
+                             rvol, rvol >= comm.rendezvous_threshold()});
         }
     }
 
-    // The binned schedule, frozen at plan time: zero-volume peers never
-    // made it into sends_; the rest go smallest volume first so cheap
-    // peers are not delayed behind expensive noncontiguous packing, with
-    // the small/large boundary ordered exactly as the one-shot binned
+    // The binned send order, frozen at plan time: zero-volume peers never
+    // made it into sends; the rest go smallest volume first so cheap peers
+    // are not delayed behind expensive noncontiguous packing, with the
+    // small/large boundary ordered exactly as the one-shot binned
     // algorithm orders it.
     const std::uint64_t small = config.small_msg_threshold;
-    std::sort(sends_.begin(), sends_.end(), [small](const SendPeer& a, const SendPeer& b) {
+    std::sort(sends.begin(), sends.end(), [small](const SendPeer& a, const SendPeer& b) {
         const bool as = a.bytes < small, bs = b.bytes < small;
         if (as != bs) return as;
         return a.bytes < b.bytes || (a.bytes == b.bytes && a.rank < b.rank);
     });
+    send_peers_ = sends.size();
+    recv_peers_ = recvs.size();
 
-    recv_reqs_.reserve(recvs_.size());
+    // Compile the schedule. Emission order is execution order for the
+    // dep-free prefix: typed receives post first, then the clear-to-sends
+    // fire (proving to each rendezvous-bound source that this rank's
+    // receives are posted), then the self copy, then the eager pack+send
+    // pairs in binned order. Rendezvous sends occupy round 1: their packs
+    // are released by the matching clear-to-send token.
+    Schedule s;
+    s.tag_base = kPersistentTagBase;
+    bool any_rdv = false;
+
+    for (const RecvPeer& p : recvs) {
+        ScheduleOp rcv;
+        rcv.kind = ScheduleOpKind::Recv;
+        rcv.peer = p.rank;
+        rcv.a = {BufRef::Space::Recv, p.displ};
+        rcv.count = p.count;
+        rcv.type = p.type;
+        rcv.bytes = p.bytes;
+        s.ops.push_back(std::move(rcv));
+    }
+    for (const RecvPeer& p : recvs) {
+        if (!p.cts) continue;
+        ScheduleOp cts;
+        cts.kind = ScheduleOpKind::Send;
+        cts.peer = p.rank;
+        cts.tag_offset = kCtsOffset;
+        cts.proto = rt::Protocol::Eager;
+        s.ops.push_back(std::move(cts));  // zero-byte: a.space == None
+    }
+    if (has_self) {
+        // Self exchange staged through a persistent slot (slot >= 0 routes
+        // the Copy through pack_into/unpack_from instead of copy_typed).
+        ScheduleOp cp;
+        cp.kind = ScheduleOpKind::Copy;
+        cp.a = {BufRef::Space::Send, sdispls[self_i]};
+        cp.count = sendcounts[self_i];
+        cp.type = sendtypes[self_i];
+        cp.b = {BufRef::Space::Recv, rdispls[self_i]};
+        cp.bcount = recvcounts[self_i];
+        cp.btype = recvtypes[self_i];
+        cp.slot = static_cast<int>(sends.size());
+        cp.bytes = self_vol;
+        s.ops.push_back(std::move(cp));
+    }
+    for (std::size_t k = 0; k < sends.size(); ++k) {
+        const SendPeer& p = sends[k];
+        const bool rdv = p.proto == rt::Protocol::Rendezvous;
+        const int round = rdv ? 1 : 0;
+        any_rdv = any_rdv || rdv;
+
+        int cts_idx = -1;
+        if (rdv) {
+            ScheduleOp cts;
+            cts.kind = ScheduleOpKind::Recv;
+            cts.peer = p.rank;
+            cts.tag_offset = kCtsOffset;
+            cts.round = round;
+            s.ops.push_back(std::move(cts));  // zero-byte token
+            cts_idx = static_cast<int>(s.ops.size()) - 1;
+        }
+
+        ScheduleOp pk;
+        pk.kind = ScheduleOpKind::Pack;
+        pk.round = round;
+        pk.a = {BufRef::Space::Send, p.displ};
+        pk.count = p.count;
+        pk.type = p.type;
+        pk.slot = static_cast<int>(k);
+        pk.bytes = p.bytes;
+        if (cts_idx >= 0) pk.deps = {cts_idx};
+        s.ops.push_back(std::move(pk));
+        const int pack_idx = static_cast<int>(s.ops.size()) - 1;
+
+        ScheduleOp snd;
+        snd.kind = ScheduleOpKind::Send;
+        snd.round = round;
+        snd.peer = p.rank;
+        snd.a = {BufRef::Space::Send, p.displ};  // informational; wire uses the slot
+        snd.count = p.count;
+        snd.type = p.type;
+        snd.slot = static_cast<int>(k);
+        snd.bytes = p.bytes;
+        snd.proto = p.proto;
+        snd.deps = {pack_idx};
+        s.ops.push_back(std::move(snd));
+    }
+
+    s.rounds = any_rdv ? 2 : 1;
+    s.staging.reserve(sends.size() + (has_self ? 1u : 0u));
+    for (const SendPeer& p : sends) s.staging.push_back(static_cast<std::size_t>(p.bytes));
+    if (has_self) s.staging.push_back(static_cast<std::size_t>(self_vol));
+
+    request_ = CollRequest(*comm_, std::move(s));
+    request_.set_pack_engine(engine_kind_);
 }
 
 AlltoallwPlan::~AlltoallwPlan() = default;
 
-void AlltoallwPlan::pack_peer(SendPeer& p, const std::byte* base, StatCounters& step,
-                              PhaseTimers& step_timers) {
-    const dt::PackPlan& plan = p.type.plan();
-    if (plan.specialized()) {
-        // Contiguous / constant-stride layouts: the compiled kernel writes
-        // the persistent buffer directly — no engine, no scratch.
-        PhaseScope scope(step_timers, Phase::Pack);
-        plan.pack(p.type.flat(), base + p.displ, p.count, std::span<std::byte>(p.packbuf));
-        ++step.plan_hits;
-        step.bytes_packed += p.bytes;
-        return;
-    }
-
-    // Irregular layout: a persistent engine, constructed on the first
-    // execute and reset (not rebuilt) afterwards.
-    if (!p.engine) {
-        p.engine = dt::make_engine(engine_kind_, base + p.displ, p.type, p.count,
-                                   engine_config_);
-    } else {
-        p.engine->reset(base + p.displ);
-    }
-    std::size_t off = 0;
-    dt::ChunkView chunk;
-    while (p.engine->next_chunk(chunk)) {
-        if (chunk.dense) {
-            PhaseScope scope(step_timers, Phase::Pack);
-            for (const auto& [ptr, len] : chunk.iov) {
-                std::memcpy(p.packbuf.data() + off, ptr, len);
-                off += len;
-            }
-        } else {
-            std::memcpy(p.packbuf.data() + off, chunk.packed.data(), chunk.packed.size());
-            off += chunk.packed.size();
-        }
-    }
-    NNCOMM_CHECK(off == p.packbuf.size());
-    step += p.engine->counters();
-    step_timers += p.engine->timers();
-    p.engine->reset_stats();
-}
-
-void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
-    // One epoch lane per execute: sends below are fire-and-forget
-    // nonblocking, so a straggler from execute k can still be in flight
-    // when execute k+1 posts its receives.
-    const int epoch = comm_->next_collective_epoch();
-    const int tag = rt::epoch_tag(kPersistentTagBase, epoch);
-    const int cts_tag = rt::epoch_tag(kPersistentCtsBase, epoch);
-
+void AlltoallwPlan::begin(const void* sendbuf, void* recvbuf) {
+    NNCOMM_CHECK_MSG(!request_.active(),
+                     "AlltoallwPlan::begin while a previous execution is in flight");
     // Engine-config changes between executes invalidate the persistent
     // engines (their scratch sizing depends on the pipeline chunk); treat
     // it as a re-plan of the engines only.
     if (!(comm_->engine_config() == engine_config_)) {
         engine_config_ = comm_->engine_config();
-        for (SendPeer& p : sends_) p.engine.reset();
+        request_.invalidate_engines();
     }
+    request_.reset();
+    StatCounters extra;
+    ++extra.persistent_executes;
+    if (executes_ > 0) ++extra.coll_schedule_cache_hits;
+    request_.inject(extra);
+    request_.start(sendbuf, recvbuf);
+}
 
-    StatCounters step = pending_setup_;
-    pending_setup_ = StatCounters{};
-    PhaseTimers step_timers;
-    ++step.persistent_executes;
-
-    // Post all receives up front. Messages arrive as packed bytes; the
-    // typed receive unpacks them through the layout's compiled plan (or
-    // the cursor for irregular layouts) in Comm::wait.
-    recv_reqs_.clear();
-    for (const RecvPeer& p : recvs_) {
-        recv_reqs_.push_back(comm_->irecv_i(static_cast<std::byte*>(recvbuf) + p.displ,
-                                            p.count, p.type, p.rank, tag));
-    }
-
-    // Release the rendezvous-bound sources: this rank's receives are all
-    // posted now, and the zero-byte clear-to-send proves it to the peer,
-    // so the matching payload send always takes the single-copy path —
-    // deterministically, not just when it wins the posting race.
-    std::byte cts_token{};
-    for (const RecvPeer& p : recvs_) {
-        if (p.cts) {
-            comm_->send_i(&cts_token, 0, dt::Datatype::byte(), p.rank, cts_tag);
-        }
-    }
-
-    // Self exchange through the persistent staging buffer.
-    if (has_self_) {
-        PhaseScope scope(step_timers, Phase::Pack);
-        dt::pack_into(static_cast<const std::byte*>(sendbuf) + self_sdispl_, self_stype_,
-                      self_scount_, std::span<std::byte>(self_buf_));
-        dt::unpack_from(static_cast<std::byte*>(recvbuf) + self_rdispl_, self_rtype_,
-                        self_rcount_, std::span<const std::byte>(self_buf_));
-    }
-
-    // Sends in the precomputed binned order. The wire sees contiguous
-    // bytes, so the runtime's send path is a single copy — every per-send
-    // engine construction the one-shot path would perform is gone. The
-    // sends are nonblocking fire-and-forget (the payload is captured at
-    // enqueue, so the persistent packbuf is immediately reusable); only the
-    // receives gate completion. Eager peers go first: they never wait, and
-    // every rank has already broadcast its clear-to-sends above, so the
-    // blocking token receives in the second pass cannot deadlock.
-    for (SendPeer& p : sends_) {
-        if (p.proto == rt::Protocol::Rendezvous) continue;
-        pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
-        comm_->isend_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
-                       dt::Datatype::byte(), p.rank, tag, p.proto);
-    }
-    for (SendPeer& p : sends_) {
-        if (p.proto != rt::Protocol::Rendezvous) continue;
-        comm_->recv_i(&cts_token, 0, dt::Datatype::byte(), p.rank, cts_tag);
-        pack_peer(p, static_cast<const std::byte*>(sendbuf), step, step_timers);
-        comm_->isend_i(p.packbuf.data(), static_cast<std::size_t>(p.bytes),
-                       dt::Datatype::byte(), p.rank, tag, p.proto);
-    }
-
-    comm_->waitall(recv_reqs_);
-
-    counters_ += step;
-    comm_->merge_stats(step, step_timers);
+void AlltoallwPlan::end() {
+    request_.wait();
+    counters_ += request_.last_step();
     ++executes_;
+}
+
+void AlltoallwPlan::execute(const void* sendbuf, void* recvbuf) {
+    begin(sendbuf, recvbuf);
+    end();
 }
 
 }  // namespace nncomm::coll

@@ -5,32 +5,40 @@
 // of peers by volume, the receive-request vector. For the repeated-scatter
 // pattern the paper measures (§5.4 — the same VecScatter executed every
 // solver iteration), all of that is loop-invariant. An AlltoallwPlan hoists
-// it out of the loop:
+// it out of the loop: the plan is a cached compiled coll::Schedule — the
+// binned send order, the frozen per-peer protocol decisions and the
+// clear-to-send handshake are ops of the graph — plus one persistent
+// CollRequest whose staging buffers and pack engines survive across
+// executes.
 //
 //   - the binned send schedule (zero-volume peers exempted, small volumes
-//     before large) is computed once at plan time,
-//   - each send peer owns a persistent pack buffer and — for layouts whose
+//     before large) is compiled once at plan time,
+//   - each send peer owns a persistent staging slot and — for layouts whose
 //     compiled PackPlan is not specialized — a persistent pack engine that
 //     is reset(), never reconstructed, on each execute,
 //   - specialized layouts (contiguous / constant-stride) pack straight into
-//     the persistent buffer through the plan kernels, no engine at all,
+//     the persistent slot through the plan kernels, no engine at all,
 //   - packed messages go on the wire as plain bytes, so the runtime's send
-//     path never builds a per-send engine either,
-//   - the receive-request vector and the self-copy staging buffer are
-//     reused across executes.
+//     path never builds a per-send engine either.
 //
 // Steady state (every execute after the first) therefore performs no
 // engine constructions and no scratch allocations — which is exactly what
-// the engine_builds / scratch_allocs counters folded into the Comm prove.
+// the engine_builds / scratch_allocs counters folded into the Comm prove —
+// and every reuse of the compiled graph is counted as a
+// coll_schedule_cache_hits event.
+//
+// Because the executor is progress-driven, the plan is split-phase for
+// free: begin() fires the schedule (receives posted, self copy done, eager
+// sends gone), test() makes overlap progress, end() completes. execute()
+// is begin() + end().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
-#include <vector>
 
 #include "coll/collectives.hpp"
+#include "coll/schedule.hpp"
 #include "datatype/engine.hpp"
 
 namespace nncomm::coll {
@@ -40,11 +48,11 @@ namespace nncomm::coll {
 /// may not. Owned and used by a single rank thread (like Comm itself).
 class AlltoallwPlan {
 public:
-    /// Captures the shape, bins the peers and sizes all persistent
-    /// buffers. `engine` selects the pack engine used for peers whose
-    /// layout does not compile to a specialized plan kernel. The engine
-    /// configuration is taken from `comm` at every execute, so config
-    /// changes between executes rebuild the engines (and are counted).
+    /// Captures the shape, bins the peers and compiles the schedule.
+    /// `engine` selects the pack engine used for peers whose layout does
+    /// not compile to a specialized plan kernel. The engine configuration
+    /// is taken from `comm` at every execute, so config changes between
+    /// executes rebuild the engines (and are counted).
     AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
                   std::span<const std::ptrdiff_t> sdispls,
                   std::span<const dt::Datatype> sendtypes,
@@ -63,62 +71,37 @@ public:
     /// for the work done are folded into the Comm's counters/timers.
     void execute(const void* sendbuf, void* recvbuf);
 
+    /// Split-phase execute: fires the schedule (receives posted, self copy
+    /// done, eligible sends gone) and returns. Overlap compute, optionally
+    /// poking test(), then end(). Buffer contracts as execute().
+    void begin(const void* sendbuf, void* recvbuf);
+    /// One nonblocking progress pass; true once the exchange completed.
+    bool test() { return request_.test(); }
+    /// Completes the exchange begun by begin().
+    void end();
+
     /// Cumulative statistics over all executes of this plan (the same
     /// numbers folded into the Comm, but isolated from other traffic).
     const StatCounters& counters() const { return counters_; }
 
     std::size_t executes() const { return executes_; }
     /// Peers this rank sends to / receives from (self excluded).
-    std::size_t send_peers() const { return sends_.size(); }
-    std::size_t recv_peers() const { return recvs_.size(); }
+    std::size_t send_peers() const { return send_peers_; }
+    std::size_t recv_peers() const { return recv_peers_; }
+
+    /// The compiled schedule (inspection / netsim lowering).
+    const Schedule& schedule() const { return request_.schedule(); }
 
 private:
-    struct SendPeer {
-        int rank = -1;
-        std::size_t count = 0;
-        std::ptrdiff_t displ = 0;
-        dt::Datatype type;
-        std::uint64_t bytes = 0;
-        /// Volume-derived protocol hint, frozen at plan time: large peers
-        /// ride the zero-copy rendezvous path (the receives are posted up
-        /// front), small peers stay buffered eager.
-        rt::Protocol proto = rt::Protocol::Auto;
-        std::vector<std::byte> packbuf;          ///< persistent, sized once
-        std::unique_ptr<dt::PackEngine> engine;  ///< irregular layouts only
-    };
-    struct RecvPeer {
-        int rank = -1;
-        std::size_t count = 0;
-        std::ptrdiff_t displ = 0;
-        dt::Datatype type;
-        /// Mirror of the sender's frozen Rendezvous decision (same volume,
-        /// same threshold): after posting this receive, execute() sends the
-        /// source a zero-byte clear-to-send so the payload send always
-        /// finds the receive posted and the single-copy path never races.
-        bool cts = false;
-    };
-
-    void pack_peer(SendPeer& p, const std::byte* base, StatCounters& step,
-                   PhaseTimers& step_timers);
-
     rt::Comm* comm_ = nullptr;
     dt::EngineKind engine_kind_;
     dt::EngineConfig engine_config_;  ///< config the engines were built with
 
-    std::vector<SendPeer> sends_;  ///< binned order: small volumes first
-    std::vector<RecvPeer> recvs_;  ///< ascending rank
-
-    // Self exchange (rank -> itself), staged through a persistent buffer.
-    bool has_self_ = false;
-    std::size_t self_scount_ = 0, self_rcount_ = 0;
-    std::ptrdiff_t self_sdispl_ = 0, self_rdispl_ = 0;
-    dt::Datatype self_stype_, self_rtype_;
-    std::vector<std::byte> self_buf_;
-
-    std::vector<rt::Request> recv_reqs_;  ///< reused, capacity persists
+    CollRequest request_;  ///< cached compiled schedule + persistent state
+    std::size_t send_peers_ = 0;
+    std::size_t recv_peers_ = 0;
 
     StatCounters counters_;
-    StatCounters pending_setup_;  ///< plan-time allocs, folded into execute #1
     std::size_t executes_ = 0;
 };
 

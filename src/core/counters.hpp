@@ -120,6 +120,15 @@ struct StatCounters {
     std::uint64_t rt_pool_misses = 0;     ///< pool-eligible acquires that found no free buffer
     std::uint64_t rt_payload_allocs = 0;  ///< payload heap allocations (misses + oversize)
 
+    // Schedule-graph collective counters (coll/schedule.hpp). Every
+    // collective — blocking or icoll — compiles a Schedule and executes it
+    // through a CollRequest; these make that path observable like the
+    // rt_*/sched_* families.
+    std::uint64_t coll_schedules_built = 0;      ///< Schedule compilations
+    std::uint64_t coll_schedule_cache_hits = 0;  ///< reuses of a cached compiled Schedule
+    std::uint64_t coll_rounds_executed = 0;      ///< schedule rounds fully retired
+    std::uint64_t coll_overlap_progress_calls = 0;  ///< CollRequest::test() progress pokes
+
     void reset() { *this = StatCounters{}; }
 
     StatCounters& operator+=(const StatCounters& o) {
@@ -146,6 +155,10 @@ struct StatCounters {
         rt_pool_hits += o.rt_pool_hits;
         rt_pool_misses += o.rt_pool_misses;
         rt_payload_allocs += o.rt_payload_allocs;
+        coll_schedules_built += o.coll_schedules_built;
+        coll_schedule_cache_hits += o.coll_schedule_cache_hits;
+        coll_rounds_executed += o.coll_rounds_executed;
+        coll_overlap_progress_calls += o.coll_overlap_progress_calls;
         return *this;
     }
 };

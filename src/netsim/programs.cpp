@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "coll/schedule.hpp"
+
 namespace nncomm::sim {
 
 double pack_cost_us(const ClusterConfig& c, PackModel model, std::uint64_t bytes,
@@ -30,59 +32,42 @@ namespace {
 // matching lines up exactly like the executable collectives.
 constexpr int kTagsPerRound = 256;
 
-std::uint64_t range_bytes(std::span<const std::uint64_t> volumes, int first, int count) {
-    const int n = static_cast<int>(volumes.size());
-    std::uint64_t total = 0;
-    for (int t = 0; t < count; ++t) {
-        const int b = ((first + t) % n + n) % n;
-        total += volumes[static_cast<std::size_t>(b)];
-    }
-    return total;
-}
-
-void emit_allgatherv_ring(std::vector<RankProgram>& progs,
-                          std::span<const std::uint64_t> volumes, int tag0) {
-    const int n = static_cast<int>(volumes.size());
-    for (int r = 0; r < n; ++r) {
-        RankProgram& p = progs[static_cast<std::size_t>(r)];
-        const int right = (r + 1) % n;
-        const int left = (r + n - 1) % n;
-        for (int s = 0; s < n - 1; ++s) {
-            const int send_block = (r - s + n) % n;
-            p.push_back(
-                Op::send(right, tag0 + s, volumes[static_cast<std::size_t>(send_block)]));
-            p.push_back(Op::recv(left, tag0 + s));
+// Lowers one rank's compiled coll::Schedule into simulator ops — the SAME
+// Schedule objects the executable collectives run, so the predicted curves
+// cannot drift from the implementation. Round structure maps directly:
+// within a round the executable engine fires its nonblocking sends before
+// parking on receives, so the sequential simulator emits the round's sends
+// first, then its receives. Local ops (Copy/Pack/Unpack/Reduce) are free in
+// the LogGP model except datatype packing, which is charged as a Compute op
+// before each send when a pack model is supplied. `rank_order_sends`
+// re-sorts each round's sends by destination rank (the BinnedRankOrder
+// ablation, which deliberately discards the schedule's binned order).
+void lower_schedule(RankProgram& p, const coll::Schedule& sched, int tag0,
+                    const ClusterConfig* cluster, const PackModel* pack, double block_len,
+                    bool rank_order_sends) {
+    std::vector<const coll::ScheduleOp*> sends;
+    for (int round = 0; round < sched.rounds; ++round) {
+        sends.clear();
+        for (const coll::ScheduleOp& op : sched.ops) {
+            if (op.round == round && op.kind == coll::ScheduleOpKind::Send)
+                sends.push_back(&op);
         }
-    }
-}
-
-void emit_allgatherv_recdbl(std::vector<RankProgram>& progs,
-                            std::span<const std::uint64_t> volumes, int tag0) {
-    const int n = static_cast<int>(volumes.size());
-    NNCOMM_CHECK_MSG((n & (n - 1)) == 0, "recursive doubling needs power-of-two ranks");
-    for (int r = 0; r < n; ++r) {
-        RankProgram& p = progs[static_cast<std::size_t>(r)];
-        int phase = 0;
-        for (int mask = 1; mask < n; mask <<= 1, ++phase) {
-            const int partner = r ^ mask;
-            const std::uint64_t bytes = range_bytes(volumes, r & ~(mask - 1), mask);
-            p.push_back(Op::send(partner, tag0 + phase, bytes));
-            p.push_back(Op::recv(partner, tag0 + phase));
+        if (rank_order_sends) {
+            std::stable_sort(sends.begin(), sends.end(),
+                             [](const coll::ScheduleOp* a, const coll::ScheduleOp* b) {
+                                 return a->peer < b->peer;
+                             });
         }
-    }
-}
-
-void emit_allgatherv_dissem(std::vector<RankProgram>& progs,
-                            std::span<const std::uint64_t> volumes, int tag0) {
-    const int n = static_cast<int>(volumes.size());
-    for (int r = 0; r < n; ++r) {
-        RankProgram& p = progs[static_cast<std::size_t>(r)];
-        int phase = 0;
-        for (int step = 1; step < n; step <<= 1, ++phase) {
-            const int cnt = std::min(step, n - step);
-            const std::uint64_t bytes = range_bytes(volumes, r - cnt + 1, cnt);
-            p.push_back(Op::send((r + step) % n, tag0 + phase, bytes));
-            p.push_back(Op::recv((r - step + n) % n, tag0 + phase));
+        for (const coll::ScheduleOp* op : sends) {
+            if (pack != nullptr) {
+                p.push_back(
+                    Op::compute(pack_cost_us(*cluster, *pack, op->bytes, block_len)));
+            }
+            p.push_back(Op::send(op->peer, tag0 + op->tag_offset, op->bytes));
+        }
+        for (const coll::ScheduleOp& op : sched.ops) {
+            if (op.round != round || op.kind != coll::ScheduleOpKind::Recv) continue;
+            p.push_back(Op::recv(op.peer, tag0 + op.tag_offset));
         }
     }
 }
@@ -97,78 +82,62 @@ GathervSchedule resolve_allgatherv(std::span<const std::uint64_t> volumes,
 }
 
 void emit_allgatherv(std::vector<RankProgram>& progs, std::span<const std::uint64_t> volumes,
-                     GathervSchedule schedule, const AllgathervPolicy& policy, int tag0) {
+                     GathervSchedule schedule, const AllgathervPolicy& policy, int tag0,
+                     std::size_t rendezvous_threshold) {
+    const int n = static_cast<int>(volumes.size());
+    coll::AllgathervAlgo algo = coll::AllgathervAlgo::Ring;
     switch (resolve_allgatherv(volumes, schedule, policy)) {
-        case GathervSchedule::Ring: emit_allgatherv_ring(progs, volumes, tag0); break;
+        case GathervSchedule::Ring: algo = coll::AllgathervAlgo::Ring; break;
         case GathervSchedule::RecursiveDoubling:
-            emit_allgatherv_recdbl(progs, volumes, tag0);
+            algo = coll::AllgathervAlgo::RecursiveDoubling;
             break;
         case GathervSchedule::Dissemination:
-            emit_allgatherv_dissem(progs, volumes, tag0);
+            algo = coll::AllgathervAlgo::Dissemination;
             break;
-        case GathervSchedule::Auto: break;  // resolved
+        case GathervSchedule::Auto: break;  // resolved above
+    }
+    // Byte-typed shape: the volume set IS the count set.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts[i] = static_cast<std::size_t>(volumes[i]);
+        displs[i] = off;
+        off += counts[i];
+    }
+    const dt::Datatype byte = dt::Datatype::byte();
+    for (int r = 0; r < n; ++r) {
+        const coll::Schedule sched = coll::build_allgatherv_schedule(
+            r, n, algo, counts[static_cast<std::size_t>(r)], byte, counts, displs, byte,
+            rendezvous_threshold);
+        lower_schedule(progs[static_cast<std::size_t>(r)], sched, tag0, nullptr, nullptr, 0.0,
+                       false);
     }
 }
 
 void emit_alltoallw(std::vector<RankProgram>& progs, const ClusterConfig& cluster,
                     const AlltoallwWorkload& wl, AlltoallwSchedule schedule, int tag0) {
     const int n = wl.nprocs;
-    if (schedule == AlltoallwSchedule::RoundRobin) {
-        // Blocking pairwise exchange with every rank, zero-size included:
-        // each step is a synchronization.
-        for (int r = 0; r < n; ++r) {
-            RankProgram& p = progs[static_cast<std::size_t>(r)];
-            for (int i = 1; i < n; ++i) {
-                const int dst = (r + i) % n;
-                const int src = (r - i + n) % n;
-                const std::uint64_t out = wl.vol(r, dst);
-                p.push_back(Op::compute(pack_cost_us(cluster, wl.pack, out, wl.block_len)));
-                p.push_back(Op::send(dst, tag0 + i, out));
-                p.push_back(Op::recv(src, tag0 + i));
-            }
+    const coll::AlltoallwAlgo algo = schedule == AlltoallwSchedule::RoundRobin
+                                         ? coll::AlltoallwAlgo::RoundRobin
+                                         : coll::AlltoallwAlgo::Binned;
+    const dt::Datatype byte = dt::Datatype::byte();
+    const std::vector<dt::Datatype> types(static_cast<std::size_t>(n), byte);
+    const std::vector<std::ptrdiff_t> zero_displs(static_cast<std::size_t>(n), 0);
+    std::vector<std::size_t> sendcounts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> recvcounts(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        for (int peer = 0; peer < n; ++peer) {
+            sendcounts[static_cast<std::size_t>(peer)] =
+                static_cast<std::size_t>(wl.vol(r, peer));
+            recvcounts[static_cast<std::size_t>(peer)] =
+                static_cast<std::size_t>(wl.vol(peer, r));
         }
-    } else {
-        // Binned: zero-volume peers exempt; small volumes packed and sent
-        // before large; receives completed afterwards (waitall).
-        for (int r = 0; r < n; ++r) {
-            RankProgram& p = progs[static_cast<std::size_t>(r)];
-            struct Peer {
-                int rank;
-                std::uint64_t volume;
-            };
-            std::vector<Peer> small_bin, large_bin;
-            for (int dst = 0; dst < n; ++dst) {
-                if (dst == r) continue;
-                const std::uint64_t v = wl.vol(r, dst);
-                if (v == 0) continue;
-                (v < wl.small_msg_threshold ? small_bin : large_bin).push_back({dst, v});
-            }
-            if (schedule == AlltoallwSchedule::Binned) {
-                auto by_volume = [](const Peer& a, const Peer& b) {
-                    return a.volume < b.volume || (a.volume == b.volume && a.rank < b.rank);
-                };
-                std::sort(small_bin.begin(), small_bin.end(), by_volume);
-                std::sort(large_bin.begin(), large_bin.end(), by_volume);
-            } else {
-                // BinnedRankOrder: zero-size exemption only; packing order
-                // is rank order, so a large early peer delays later ones.
-                large_bin.insert(large_bin.end(), small_bin.begin(), small_bin.end());
-                small_bin.clear();
-                std::sort(large_bin.begin(), large_bin.end(),
-                          [](const Peer& a, const Peer& b) { return a.rank < b.rank; });
-            }
-            for (const auto& bin : {small_bin, large_bin}) {
-                for (const Peer& peer : bin) {
-                    p.push_back(Op::compute(
-                        pack_cost_us(cluster, wl.pack, peer.volume, wl.block_len)));
-                    p.push_back(Op::send(peer.rank, tag0, peer.volume));
-                }
-            }
-            for (int src = 0; src < n; ++src) {
-                if (src == r || wl.vol(src, r) == 0) continue;
-                p.push_back(Op::recv(src, tag0));
-            }
-        }
+        const coll::Schedule sched = coll::build_alltoallw_schedule(
+            r, n, algo, sendcounts, zero_displs, types, recvcounts, zero_displs, types,
+            wl.small_msg_threshold);
+        lower_schedule(progs[static_cast<std::size_t>(r)], sched, tag0, &cluster, &wl.pack,
+                       wl.block_len, schedule == AlltoallwSchedule::BinnedRankOrder);
     }
 }
 
@@ -202,7 +171,8 @@ std::vector<RankProgram> allgatherv_program(const ClusterConfig& cluster,
     std::vector<RankProgram> progs(static_cast<std::size_t>(n));
     for (int it = 0; it < wl.iterations; ++it) {
         add_skew_ops(progs, cluster, rng);
-        emit_allgatherv(progs, wl.volumes, schedule, wl.policy, it * kTagsPerRound);
+        emit_allgatherv(progs, wl.volumes, schedule, wl.policy, it * kTagsPerRound,
+                        cluster.rendezvous_threshold);
     }
     return progs;
 }
@@ -268,7 +238,8 @@ void ProgramBuilder::add_allgatherv(std::span<const std::uint64_t> volumes,
                                     GathervSchedule schedule, const AllgathervPolicy& policy) {
     NNCOMM_CHECK_MSG(static_cast<int>(volumes.size()) == cluster_.nprocs,
                      "volume set/cluster rank-count mismatch");
-    emit_allgatherv(progs_, volumes, schedule, policy, next_tag_block());
+    emit_allgatherv(progs_, volumes, schedule, policy, next_tag_block(),
+                    cluster_.rendezvous_threshold);
 }
 
 void ProgramBuilder::add_allreduce(std::uint64_t bytes) {

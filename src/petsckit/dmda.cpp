@@ -308,12 +308,18 @@ void DMDA::build_exchange() {
 
 void DMDA::global_to_local(const Vec& global, std::span<double> local,
                            const coll::CollConfig& config) const {
+    coll::CollRequest req = global_to_local_begin(global, local, config);
+    global_to_local_end(req);
+}
+
+coll::CollRequest DMDA::global_to_local_begin(const Vec& global, std::span<double> local,
+                                              const coll::CollConfig& config) const {
     NNCOMM_CHECK_MSG(global.local_size() == owned_.volume() * dof_,
                      "global_to_local: global vector does not match this DMDA");
     NNCOMM_CHECK_MSG(static_cast<Index>(local.size()) == ghosted_.volume() * dof_,
                      "global_to_local: local array has the wrong size");
-    coll::alltoallw(*comm_, global.data(), g2l_scounts_, g2l_sdispls_, g2l_stypes_,
-                    local.data(), g2l_rcounts_, g2l_rdispls_, g2l_rtypes_, config);
+    return coll::ialltoallw(*comm_, global.data(), g2l_scounts_, g2l_sdispls_, g2l_stypes_,
+                            local.data(), g2l_rcounts_, g2l_rdispls_, g2l_rtypes_, config);
 }
 
 void DMDA::local_to_global_add(std::span<const double> local, Vec& global) const {

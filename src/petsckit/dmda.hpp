@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "coll/collectives.hpp"
+#include "coll/schedule.hpp"
 #include "petsckit/vec.hpp"
 
 namespace nncomm::pk {
@@ -83,6 +84,18 @@ public:
     /// plus all ghost slabs from neighbors. Collective.
     void global_to_local(const Vec& global, std::span<double> local,
                          const coll::CollConfig& config = {}) const;
+
+    /// Split-phase ghost exchange: fires the Alltoallw schedule and returns
+    /// while the ghost slabs are in flight. The owned region of `local` is
+    /// already filled when this returns (the self copy runs inside begin),
+    /// so interior stencil points can be computed before _end. Drive the
+    /// returned request with test() for overlap progress; complete it with
+    /// global_to_local_end. begin + end is bit-identical to
+    /// global_to_local.
+    coll::CollRequest global_to_local_begin(const Vec& global, std::span<double> local,
+                                            const coll::CollConfig& config = {}) const;
+    /// Completes a split-phase ghost exchange begun by global_to_local_begin.
+    static void global_to_local_end(coll::CollRequest& req) { req.wait(); }
 
     /// Copies the owned region of `local` back into the global vector
     /// (insert mode; purely local).

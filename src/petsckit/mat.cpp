@@ -114,18 +114,30 @@ void MatAIJ::mult(const Vec& x, Vec& y) const {
     NNCOMM_CHECK_MSG(x.local_size() == rows_.count() && y.local_size() == rows_.count(),
                      "MatAIJ: vector layouts do not match");
 
-    // Gather the off-rank x entries this rank's off-diagonal block needs.
-    ghost_scatter_->execute(x, ghost_vals_, ghost_backend_);
+    // Split-phase: fire the gather of the off-rank x entries, compute the
+    // diagonal block (which reads only local x) while the ghost values are
+    // in flight, then finish with the off-diagonal block. The per-row
+    // accumulation order — diagonal terms in k order, then off-diagonal
+    // terms in k order into the same accumulator — is exactly the blocking
+    // loop's, so results are bit-identical.
+    ScatterRequest gather = ghost_scatter_->begin(x, ghost_vals_, ghost_backend_);
 
     const auto nrows = static_cast<std::size_t>(rows_.count());
     const double* xl = x.data();
-    const double* xg = ghost_vals_.data();
     double* yl = y.data();
     for (std::size_t r = 0; r < nrows; ++r) {
         double acc = 0.0;
         for (std::size_t k = diag_.row_ptr[r]; k < diag_.row_ptr[r + 1]; ++k) {
             acc += diag_.val[k] * xl[diag_.col[k]];
         }
+        yl[r] = acc;
+    }
+
+    gather.end();
+
+    const double* xg = ghost_vals_.data();
+    for (std::size_t r = 0; r < nrows; ++r) {
+        double acc = yl[r];
         for (std::size_t k = offdiag_.row_ptr[r]; k < offdiag_.row_ptr[r + 1]; ++k) {
             acc += offdiag_.val[k] * xg[offdiag_.col[k]];
         }

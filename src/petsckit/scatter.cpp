@@ -98,30 +98,40 @@ std::vector<std::uint64_t> VecScatter::send_blocks() const {
 
 void VecScatter::execute(const Vec& src, Vec& dst, ScatterBackend backend,
                          InsertMode insert) const {
-    NNCOMM_CHECK_MSG(src.local_size() == src_local_ && dst.local_size() == dst_local_,
-                     "VecScatter::execute: vectors do not match the planned layouts");
-    NNCOMM_CHECK_MSG(insert == InsertMode::Insert || backend == ScatterBackend::HandTuned,
-                     "VecScatter: Add mode requires the hand-tuned backend");
-    switch (backend) {
-        case ScatterBackend::HandTuned:
-            run_hand_tuned(src, sends_, self_src_, dst, recvs_, self_dst_, insert,
-                           ht_fwd_send_, ht_fwd_recv_);
-            break;
-        case ScatterBackend::DatatypeBaseline:
-            execute_datatype(src, dst, coll::AlltoallwAlgo::RoundRobin,
-                             dt::EngineKind::SingleContext, ScatterMode::Forward);
-            break;
-        case ScatterBackend::DatatypeOptimized:
-            execute_datatype(src, dst, coll::AlltoallwAlgo::Binned,
-                             dt::EngineKind::DualContext, ScatterMode::Forward);
-            break;
-    }
+    ScatterRequest req = begin(src, dst, backend, insert);
+    req.end();
 }
 
 void VecScatter::execute_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
                                  InsertMode insert) const {
+    ScatterRequest req = begin_reverse(src, dst, backend, insert);
+    req.end();
+}
+
+ScatterRequest VecScatter::begin(const Vec& src, Vec& dst, ScatterBackend backend,
+                                 InsertMode insert) const {
     NNCOMM_CHECK_MSG(src.local_size() == src_local_ && dst.local_size() == dst_local_,
-                     "VecScatter::execute_reverse: vectors do not match the planned layouts");
+                     "VecScatter::begin: vectors do not match the planned layouts");
+    NNCOMM_CHECK_MSG(insert == InsertMode::Insert || backend == ScatterBackend::HandTuned,
+                     "VecScatter: Add mode requires the hand-tuned backend");
+    switch (backend) {
+        case ScatterBackend::HandTuned:
+            return begin_hand_tuned(src, sends_, self_src_, dst, recvs_, self_dst_, insert,
+                                    ht_fwd_send_, ht_fwd_recv_);
+        case ScatterBackend::DatatypeBaseline:
+            return begin_datatype(src.data(), dst.data(), coll::AlltoallwAlgo::RoundRobin,
+                                  dt::EngineKind::SingleContext, ScatterMode::Forward);
+        case ScatterBackend::DatatypeOptimized:
+            return begin_datatype(src.data(), dst.data(), coll::AlltoallwAlgo::Binned,
+                                  dt::EngineKind::DualContext, ScatterMode::Forward);
+    }
+    return {};
+}
+
+ScatterRequest VecScatter::begin_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
+                                         InsertMode insert) const {
+    NNCOMM_CHECK_MSG(src.local_size() == src_local_ && dst.local_size() == dst_local_,
+                     "VecScatter::begin_reverse: vectors do not match the planned layouts");
     NNCOMM_CHECK_MSG(insert == InsertMode::Insert || backend == ScatterBackend::HandTuned,
                      "VecScatter: Add mode requires the hand-tuned backend");
     switch (backend) {
@@ -129,36 +139,43 @@ void VecScatter::execute_reverse(Vec& src, const Vec& dst, ScatterBackend backen
             // The plans swap roles wholesale: forward-receivers become
             // senders of their dst entries, forward-senders accumulate
             // into their src entries.
-            run_hand_tuned(dst, recvs_, self_dst_, src, sends_, self_src_, insert,
-                           ht_rev_send_, ht_rev_recv_);
-            break;
+            return begin_hand_tuned(dst, recvs_, self_dst_, src, sends_, self_src_, insert,
+                                    ht_rev_send_, ht_rev_recv_);
         case ScatterBackend::DatatypeBaseline:
-            execute_datatype(src, const_cast<Vec&>(dst), coll::AlltoallwAlgo::RoundRobin,
-                             dt::EngineKind::SingleContext, ScatterMode::Reverse);
-            break;
+            // Reverse: the argument arrays swap roles exactly.
+            return begin_datatype(dst.data(), src.data(), coll::AlltoallwAlgo::RoundRobin,
+                                  dt::EngineKind::SingleContext, ScatterMode::Reverse);
         case ScatterBackend::DatatypeOptimized:
-            execute_datatype(src, const_cast<Vec&>(dst), coll::AlltoallwAlgo::Binned,
-                             dt::EngineKind::DualContext, ScatterMode::Reverse);
-            break;
+            return begin_datatype(dst.data(), src.data(), coll::AlltoallwAlgo::Binned,
+                                  dt::EngineKind::DualContext, ScatterMode::Reverse);
     }
+    return {};
 }
 
-void VecScatter::run_hand_tuned(const Vec& from, const std::vector<PeerPlan>& from_plans,
-                                const std::vector<Index>& from_self, Vec& to,
-                                const std::vector<PeerPlan>& to_plans,
-                                const std::vector<Index>& to_self, InsertMode insert,
-                                std::vector<std::vector<double>>& send_bufs,
-                                std::vector<std::vector<double>>& recv_bufs) const {
+ScatterRequest VecScatter::begin_hand_tuned(
+    const Vec& from, const std::vector<PeerPlan>& from_plans,
+    const std::vector<Index>& from_self, Vec& to, const std::vector<PeerPlan>& to_plans,
+    const std::vector<Index>& to_self, InsertMode insert,
+    std::vector<std::vector<double>>& send_bufs,
+    std::vector<std::vector<double>>& recv_bufs) const {
     // PETSc's default path: explicit packing and per-peer point-to-point,
     // no derived datatypes, no collective. The staging buffers persist in
     // the scatter; after the first execute these resizes are no-ops.
+    ScatterRequest req;
+    req.path_ = ScatterRequest::Path::HandTuned;
+    req.comm_ = comm_;
+    req.to_plans_ = &to_plans;
+    req.recv_bufs_ = &recv_bufs;
+    req.to_ = &to;
+    req.insert_ = insert;
+
     recv_bufs.resize(to_plans.size());
-    std::vector<rt::Request> recv_reqs;
-    recv_reqs.reserve(to_plans.size());
+    req.recv_reqs_.reserve(to_plans.size());
     for (std::size_t i = 0; i < to_plans.size(); ++i) {
         recv_bufs[i].resize(to_plans[i].offsets.size());
-        recv_reqs.push_back(comm_->irecv(recv_bufs[i].data(), recv_bufs[i].size() * 8,
-                                         dt::Datatype::byte(), to_plans[i].rank, kScatterTag));
+        req.recv_reqs_.push_back(
+            comm_->irecv(recv_bufs[i].data(), recv_bufs[i].size() * 8, dt::Datatype::byte(),
+                         to_plans[i].rank, kScatterTag));
     }
 
     send_bufs.resize(from_plans.size());
@@ -181,58 +198,94 @@ void VecScatter::run_hand_tuned(const Vec& from, const std::vector<PeerPlan>& fr
             to.data()[to_self[k]] += from.data()[from_self[k]];
         }
     }
-
-    comm_->waitall(recv_reqs);
-    for (std::size_t i = 0; i < to_plans.size(); ++i) {
-        const PeerPlan& p = to_plans[i];
-        double* d = to.data();
-        for (std::size_t k = 0; k < p.offsets.size(); ++k) {
-            if (insert == InsertMode::Insert) {
-                d[p.offsets[k]] = recv_bufs[i][k];
-            } else {
-                d[p.offsets[k]] += recv_bufs[i][k];
-            }
-        }
-    }
+    return req;
 }
 
-void VecScatter::execute_datatype(const Vec& src, Vec& dst, coll::AlltoallwAlgo algo,
-                                  dt::EngineKind engine, ScatterMode mode) const {
-    const dt::EngineKind saved = comm_->engine_kind();
+ScatterRequest VecScatter::begin_datatype(const void* sendbuf, void* recvbuf,
+                                          coll::AlltoallwAlgo algo, dt::EngineKind engine,
+                                          ScatterMode mode) const {
+    ScatterRequest req;
+    req.comm_ = comm_;
+    req.saved_engine_ = comm_->engine_kind();
+    req.restore_engine_ = true;
     comm_->set_engine(engine);
     coll::CollConfig cfg;
     cfg.alltoallw_algo = algo;
 
+    const bool forward = mode == ScatterMode::Forward;
+    const auto& scounts = forward ? w_sendcounts_ : w_recvcounts_;
+    const auto& sdispls = forward ? w_sdispls_ : w_rdispls_;
+    const auto& stypes = forward ? w_sendtypes_ : w_recvtypes_;
+    const auto& rcounts = forward ? w_recvcounts_ : w_sendcounts_;
+    const auto& rdispls = forward ? w_rdispls_ : w_sdispls_;
+    const auto& rtypes = forward ? w_recvtypes_ : w_sendtypes_;
+
     // The optimized backend (binned + dual-context) runs through a
-    // persistent AlltoallwPlan: first execute compiles it, later executes
-    // reuse its engines, pack buffers and schedule allocation-free. The
-    // baseline backend stays one-shot — it reproduces the paper's measured
-    // baseline, where this rebuild cost is part of the story.
-    const bool use_plan = persistent_ && algo == coll::AlltoallwAlgo::Binned;
-    if (use_plan && mode == ScatterMode::Forward) {
-        if (!fwd_plan_) {
-            fwd_plan_ = std::make_unique<coll::AlltoallwPlan>(
-                *comm_, w_sendcounts_, w_sdispls_, w_sendtypes_, w_recvcounts_, w_rdispls_,
-                w_recvtypes_, cfg, engine);
+    // persistent AlltoallwPlan: the first execute in each direction
+    // compiles its cached Schedule, later executes replay it
+    // allocation-free. The baseline backend stays one-shot — it reproduces
+    // the paper's measured baseline, where this rebuild cost is part of the
+    // story.
+    if (persistent_ && algo == coll::AlltoallwAlgo::Binned) {
+        auto& plan = forward ? fwd_plan_ : rev_plan_;
+        if (!plan) {
+            plan = std::make_unique<coll::AlltoallwPlan>(*comm_, scounts, sdispls, stypes,
+                                                         rcounts, rdispls, rtypes, cfg, engine);
         }
-        fwd_plan_->execute(src.data(), dst.data());
-    } else if (use_plan) {
-        if (!rev_plan_) {
-            rev_plan_ = std::make_unique<coll::AlltoallwPlan>(
-                *comm_, w_recvcounts_, w_rdispls_, w_recvtypes_, w_sendcounts_, w_sdispls_,
-                w_sendtypes_, cfg, engine);
-        }
-        rev_plan_->execute(dst.data(), const_cast<Vec&>(src).data());
-    } else if (mode == ScatterMode::Forward) {
-        coll::alltoallw(*comm_, src.data(), w_sendcounts_, w_sdispls_, w_sendtypes_, dst.data(),
-                        w_recvcounts_, w_rdispls_, w_recvtypes_, cfg);
+        req.path_ = ScatterRequest::Path::Plan;
+        req.plan_ = plan.get();
+        plan->begin(sendbuf, recvbuf);
     } else {
-        // Reverse: the argument arrays swap roles exactly.
-        coll::alltoallw(*comm_, dst.data(), w_recvcounts_, w_rdispls_, w_recvtypes_,
-                        const_cast<Vec&>(src).data(), w_sendcounts_, w_sdispls_, w_sendtypes_,
-                        cfg);
+        req.path_ = ScatterRequest::Path::OneShot;
+        req.coll_ = coll::ialltoallw(*comm_, sendbuf, scounts, sdispls, stypes, recvbuf,
+                                     rcounts, rdispls, rtypes, cfg);
     }
-    comm_->set_engine(saved);
+    return req;
+}
+
+bool ScatterRequest::test() {
+    NNCOMM_CHECK_MSG(active(), "ScatterRequest::test on an inactive request");
+    switch (path_) {
+        case Path::HandTuned: {
+            bool all = true;
+            for (rt::Request& r : recv_reqs_) {
+                if (!comm_->test(r)) all = false;
+            }
+            return all;
+        }
+        case Path::OneShot: return coll_.test();
+        case Path::Plan: return plan_->test();
+        case Path::None: break;
+    }
+    return true;
+}
+
+void ScatterRequest::end() {
+    NNCOMM_CHECK_MSG(active(), "ScatterRequest::end on an inactive request");
+    switch (path_) {
+        case Path::HandTuned: {
+            comm_->waitall(recv_reqs_);
+            auto& recv_bufs = *recv_bufs_;
+            for (std::size_t i = 0; i < to_plans_->size(); ++i) {
+                const auto& p = (*to_plans_)[i];
+                double* d = to_->data();
+                for (std::size_t k = 0; k < p.offsets.size(); ++k) {
+                    if (insert_ == InsertMode::Insert) {
+                        d[p.offsets[k]] = recv_bufs[i][k];
+                    } else {
+                        d[p.offsets[k]] += recv_bufs[i][k];
+                    }
+                }
+            }
+            recv_reqs_.clear();
+            break;
+        }
+        case Path::OneShot: coll_.wait(); break;
+        case Path::Plan: plan_->end(); break;
+        case Path::None: break;
+    }
+    if (restore_engine_) comm_->set_engine(saved_engine_);
+    path_ = Path::None;
 }
 
 }  // namespace nncomm::pk

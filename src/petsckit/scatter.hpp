@@ -56,6 +56,8 @@ inline const char* scatter_backend_name(ScatterBackend b) {
     return "?";
 }
 
+class ScatterRequest;
+
 class VecScatter {
 public:
     /// Plans the scatter. `src_layout`/`dst_layout` describe the two
@@ -80,6 +82,22 @@ public:
     /// into src (the ghost-contribution push-back pattern).
     void execute_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
                          InsertMode insert = InsertMode::Insert) const;
+
+    /// Split-phase scatter (PETSc's VecScatterBegin/VecScatterEnd): begin()
+    /// posts the receives, packs and fires the sends and performs the local
+    /// moves, then returns while the transfers are in flight — overlap
+    /// interior compute, optionally poking ScatterRequest::test(), then
+    /// end() completes the receive side. execute() is begin() + end(), so
+    /// the split path is bit-identical to the blocking one on every
+    /// backend. Buffer contract: src must stay unmodified and dst's
+    /// scattered entries untouched until end() returns; at most one request
+    /// per direction may be in flight per scatter (the persistent plan and
+    /// the hand-tuned staging buffers are single-flight).
+    ScatterRequest begin(const Vec& src, Vec& dst, ScatterBackend backend,
+                         InsertMode insert = InsertMode::Insert) const;
+    /// Split-phase reverse scatter; pairs with ScatterRequest::end().
+    ScatterRequest begin_reverse(Vec& src, const Vec& dst, ScatterBackend backend,
+                                 InsertMode insert = InsertMode::Insert) const;
 
     /// Persistent-plan toggle for the DatatypeOptimized backend (default
     /// on): the first execute in each direction compiles a persistent
@@ -106,22 +124,26 @@ public:
     std::uint64_t local_moves() const { return static_cast<std::uint64_t>(self_src_.size()); }
 
 private:
+    friend class ScatterRequest;
+
     struct PeerPlan {
         int rank = -1;
         std::vector<Index> offsets;  ///< local element offsets, in k order
     };
 
-    // Generic engine shared by both directions: moves data from the `from`
-    // plans/vector into the `to` plans/vector. `send_bufs`/`recv_bufs` are
-    // the direction's persistent staging buffers (sized on first use).
-    void run_hand_tuned(const Vec& from, const std::vector<PeerPlan>& from_plans,
-                        const std::vector<Index>& from_self, Vec& to,
-                        const std::vector<PeerPlan>& to_plans,
-                        const std::vector<Index>& to_self, InsertMode insert,
-                        std::vector<std::vector<double>>& send_bufs,
-                        std::vector<std::vector<double>>& recv_bufs) const;
-    void execute_datatype(const Vec& src, Vec& dst, coll::AlltoallwAlgo algo,
-                          dt::EngineKind engine, ScatterMode mode) const;
+    // Generic first half shared by both directions: posts receives, packs
+    // and fires the sends, performs the local moves, and returns the
+    // request whose end() unpacks. `send_bufs`/`recv_bufs` are the
+    // direction's persistent staging buffers (sized on first use).
+    ScatterRequest begin_hand_tuned(const Vec& from, const std::vector<PeerPlan>& from_plans,
+                                    const std::vector<Index>& from_self, Vec& to,
+                                    const std::vector<PeerPlan>& to_plans,
+                                    const std::vector<Index>& to_self, InsertMode insert,
+                                    std::vector<std::vector<double>>& send_bufs,
+                                    std::vector<std::vector<double>>& recv_bufs) const;
+    ScatterRequest begin_datatype(const void* sendbuf, void* recvbuf,
+                                  coll::AlltoallwAlgo algo, dt::EngineKind engine,
+                                  ScatterMode mode) const;
 
     rt::Comm* comm_ = nullptr;
     Index src_local_ = 0;
@@ -144,6 +166,51 @@ private:
     mutable std::unique_ptr<coll::AlltoallwPlan> fwd_plan_, rev_plan_;
     mutable std::vector<std::vector<double>> ht_fwd_send_, ht_fwd_recv_;
     mutable std::vector<std::vector<double>> ht_rev_send_, ht_rev_recv_;
+};
+
+/// One in-flight split-phase scatter, returned by VecScatter::begin /
+/// begin_reverse. Move-only; end() must be called exactly once (it is the
+/// matching collective completion), after which the request is inert.
+class ScatterRequest {
+public:
+    ScatterRequest() = default;
+    ScatterRequest(ScatterRequest&&) = default;
+    ScatterRequest& operator=(ScatterRequest&&) = default;
+    ScatterRequest(const ScatterRequest&) = delete;
+    ScatterRequest& operator=(const ScatterRequest&) = delete;
+
+    /// True between begin() and end().
+    bool active() const { return path_ != Path::None; }
+
+    /// One nonblocking progress pass over the in-flight transfers; true
+    /// once all of them have landed (end() is still required — it performs
+    /// the receive-side unpack for the hand-tuned backend and folds the
+    /// statistics).
+    bool test();
+
+    /// Completes the scatter: waits for the transfers, unpacks the
+    /// received data, restores the communicator's engine kind.
+    void end();
+
+private:
+    friend class VecScatter;
+    enum class Path : std::uint8_t { None, HandTuned, OneShot, Plan };
+
+    Path path_ = Path::None;
+    rt::Comm* comm_ = nullptr;
+
+    // Hand-tuned backend: outstanding receives + the unpack plan.
+    const std::vector<VecScatter::PeerPlan>* to_plans_ = nullptr;
+    std::vector<std::vector<double>>* recv_bufs_ = nullptr;
+    Vec* to_ = nullptr;
+    InsertMode insert_ = InsertMode::Insert;
+    std::vector<rt::Request> recv_reqs_;
+
+    // Datatype backends: a one-shot schedule request or the persistent plan.
+    coll::CollRequest coll_;
+    coll::AlltoallwPlan* plan_ = nullptr;
+    dt::EngineKind saved_engine_ = dt::EngineKind::DualContext;
+    bool restore_engine_ = false;
 };
 
 }  // namespace nncomm::pk

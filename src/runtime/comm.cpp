@@ -696,6 +696,10 @@ RecvStatus Comm::wait(Request& request) {
         }
     }
 
+    return finish_recv(req);
+}
+
+RecvStatus Comm::finish_recv(RequestState& req) {
     if (req.zero_copy) {
         // Rendezvous: the sender already moved the payload straight into
         // req.buf; the envelope is a header. Nothing left to unpack.
@@ -745,6 +749,46 @@ void Comm::waitall(std::span<Request> reqs) {
     for (Request& r : reqs) {
         if (r.valid()) wait(r);
     }
+}
+
+bool Comm::test(Request& request, RecvStatus* status) {
+    NNCOMM_CHECK_MSG(request.valid(), "test on null request");
+    RequestState& req = *request.state_;
+    if (req.complete) {
+        if (status) *status = req.status;
+        return true;
+    }
+    progress();
+
+    if (req.kind == RequestState::Kind::Send) {
+        if (!req.delivered.load(std::memory_order_acquire)) {
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while testing a send");
+            }
+            return false;
+        }
+        req.complete = true;
+        if (status) *status = req.status;
+        return true;
+    }
+
+    // `matched` is written under the owner mailbox's mutex; take it briefly
+    // to read a coherent value. A matched request always completes, even
+    // when the world is aborting — consuming an arrived message cannot mask
+    // the root cause (same rule as wait()).
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
+    {
+        std::lock_guard<std::mutex> lk(box.mu);
+        if (!req.matched) {
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while testing a receive");
+            }
+            return false;
+        }
+    }
+    const RecvStatus st = finish_recv(req);
+    if (status) *status = st;
+    return true;
 }
 
 RecvStatus Comm::recv(void* buf, std::size_t count, const dt::Datatype& type, int source,

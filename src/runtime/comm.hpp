@@ -169,6 +169,12 @@ public:
     Request irecv(void* buf, std::size_t count, const dt::Datatype& type, int source, int tag);
     RecvStatus wait(Request& req);
     void waitall(std::span<Request> reqs);
+    /// Nonblocking completion check (MPI_Test). Drives the delivery engine
+    /// once, completes the request if it can (including the receive-side
+    /// unpack), and returns whether it did. A completed request's status is
+    /// written through `status` when non-null. Never blocks; the schedule
+    /// executor (coll::CollRequest) is built on this.
+    bool test(Request& req, RecvStatus* status = nullptr);
 
     /// Dissemination barrier over all ranks of this communicator.
     void barrier();
@@ -256,6 +262,10 @@ private:
                                    int tag, int context);
     bool try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                         int tag, int context, Protocol proto);
+    /// Receive-side completion: unpacks a matched request's payload into the
+    /// user buffer (or just fills the status for zero-copy rendezvous
+    /// arrivals) and recycles the envelope. Shared by wait() and test().
+    RecvStatus finish_recv(detail::RequestState& req);
     /// Drains deliverable in-flight envelopes (no-op when the schedule
     /// policy is off). Returns the number of envelopes delivered.
     std::size_t progress();

@@ -24,6 +24,7 @@
 
 #include "coll/collectives.hpp"
 #include "coll/persistent.hpp"
+#include "coll/schedule.hpp"
 #include "netsim/model.hpp"
 #include "petsckit/scatter.hpp"
 
@@ -386,6 +387,125 @@ TEST_P(Perturbed, RootCauseErrorWinsOverSecondaryAborts) {
 }
 
 // ---------------------------------------------------------------------------
+// nonblocking (icoll) schedules under perturbation
+
+// Three icoll schedules concurrently in flight on one communicator, waited
+// strictly out of order under the adversarial schedule. TagSpace draws a
+// fresh epoch lane per start(), so no schedule's straggling traffic can
+// satisfy another's receives even with same-pair reordering active.
+TEST_P(Perturbed, IcollOutOfOrderWaits) {
+    const int n = 5;
+    World w(n);
+    w.set_schedule(policy());
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+
+        std::vector<int> bbuf(16, c.rank() == 2 ? 77 : -1);
+        coll::CollRequest bc =
+            coll::ibcast(c, bbuf.data(), bbuf.size() * 4, Datatype::byte(), 2);
+
+        std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+        std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+        std::size_t total = 0;
+        for (int r = 0; r < n; ++r) {
+            counts[static_cast<std::size_t>(r)] = (r == 1) ? 48u : static_cast<std::size_t>(r + 1);
+            displs[static_cast<std::size_t>(r)] = total;
+            total += counts[static_cast<std::size_t>(r)];
+        }
+        const std::size_t mine = counts[static_cast<std::size_t>(c.rank())];
+        std::vector<double> contrib(mine, c.rank() + 0.5);
+        std::vector<double> gathered(total, -1.0);
+        coll::CollRequest ag = coll::iallgatherv(c, contrib.data(), mine, Datatype::float64(),
+                                                 gathered.data(), counts, displs,
+                                                 Datatype::float64());
+
+        long sum = c.rank() + 1;
+        coll::CollRequest rd = coll::ireduce(c, &sum, 1, ReduceOp::Sum, 0);
+
+        // Reverse completion order, with overlap pokes interleaved.
+        for (int poke = 0; poke < 8; ++poke) {
+            bc.test();
+            ag.test();
+        }
+        rd.wait();
+        ag.wait();
+        bc.wait();
+
+        if (c.rank() == 0) {
+            EXPECT_EQ(sum, n * (n + 1) / 2);
+        }
+        for (int r = 0; r < n; ++r) {
+            for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+                EXPECT_DOUBLE_EQ(gathered[displs[static_cast<std::size_t>(r)] + i], r + 0.5);
+            }
+        }
+        for (int v : bbuf) EXPECT_EQ(v, 77);
+    });
+}
+
+// Two ialltoallw schedules (different algorithms, different payloads) in
+// flight simultaneously and completed out of order — the icoll face of the
+// ConsecutiveBinnedAlltoallwDoNotAlias regression.
+TEST_P(Perturbed, ConcurrentIalltoallwSchedulesDoNotAlias) {
+    const int n = 5;
+    World w(n);
+    w.set_schedule(policy());
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const auto un = static_cast<std::size_t>(n);
+        std::vector<std::size_t> scounts(un), rcounts(un);
+        std::vector<std::ptrdiff_t> sdispls(un), rdispls(un);
+        std::vector<Datatype> types(un, Datatype::int32());
+        std::size_t stotal = 0, rtotal = 0;
+        for (int p = 0; p < n; ++p) {
+            const auto up = static_cast<std::size_t>(p);
+            scounts[up] = static_cast<std::size_t>((c.rank() + 2 * p) % 9 + 1);
+            rcounts[up] = static_cast<std::size_t>((p + 2 * c.rank()) % 9 + 1);
+            sdispls[up] = static_cast<std::ptrdiff_t>(stotal * 4);
+            rdispls[up] = static_cast<std::ptrdiff_t>(rtotal * 4);
+            stotal += scounts[up];
+            rtotal += rcounts[up];
+        }
+        auto fill = [&](std::vector<std::int32_t>& buf, int salt) {
+            buf.assign(stotal, 0);
+            for (int p = 0; p < n; ++p) {
+                const auto up = static_cast<std::size_t>(p);
+                for (std::size_t i = 0; i < scounts[up]; ++i) {
+                    buf[static_cast<std::size_t>(sdispls[up]) / 4 + i] =
+                        salt * 100000 + c.rank() * 1000 + p * 10 + static_cast<int>(i);
+                }
+            }
+        };
+        CollConfig round_robin, binned;
+        round_robin.alltoallw_algo = AlltoallwAlgo::RoundRobin;
+        binned.alltoallw_algo = AlltoallwAlgo::Binned;
+        binned.small_msg_threshold = 16;
+
+        std::vector<std::int32_t> send1, send2, recv1(rtotal, -1), recv2(rtotal, -1);
+        fill(send1, 1);
+        fill(send2, 2);
+        coll::CollRequest r1 = coll::ialltoallw(c, send1.data(), scounts, sdispls, types,
+                                                recv1.data(), rcounts, rdispls, types,
+                                                round_robin);
+        coll::CollRequest r2 = coll::ialltoallw(c, send2.data(), scounts, sdispls, types,
+                                                recv2.data(), rcounts, rdispls, types, binned);
+        r2.wait();
+        r1.wait();
+        for (int salt = 1; salt <= 2; ++salt) {
+            const auto& recvbuf = salt == 1 ? recv1 : recv2;
+            for (int p = 0; p < n; ++p) {
+                const auto up = static_cast<std::size_t>(p);
+                for (std::size_t i = 0; i < rcounts[up]; ++i) {
+                    EXPECT_EQ(recvbuf[static_cast<std::size_t>(rdispls[up]) / 4 + i],
+                              salt * 100000 + p * 1000 + c.rank() * 10 + static_cast<int>(i))
+                        << "salt " << salt << " from rank " << p;
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // VecScatter and persistent plans under perturbation
 
 constexpr ScatterBackend kBackends[] = {ScatterBackend::HandTuned,
@@ -427,6 +547,45 @@ TEST_P(PerturbedSeed, VecScatterEveryBackendForwardAndReverse) {
                 }
             });
         }
+    }
+}
+
+// Split-phase begin/test/end on every backend under the adversarial
+// schedule: the overlap window (pokes between begin and end) must produce
+// the same bytes as the blocking execute no matter how deliveries are
+// deferred or reordered.
+TEST_P(PerturbedSeed, SplitPhaseVecScatterEveryBackend) {
+    for (ScatterBackend backend : kBackends) {
+        World w(4);
+        w.set_schedule(SchedulePolicy::perturb(seed(), 2));
+        w.run([&](Comm& c) {
+            c.set_rendezvous_threshold(threshold());
+            const Index n = 24;
+            Vec src(c, n), dst(c, n);
+            for (Index i = src.range().begin; i < src.range().end; ++i) {
+                src.at_global(i) = static_cast<double>(i) + 0.25;
+            }
+            VecScatter sc(src, IndexSet::identity(n), dst, IndexSet::stride(n - 1, -1, n));
+            for (int round = 0; round < 3; ++round) {
+                pk::ScatterRequest req = sc.begin(src, dst, backend);
+                for (int poke = 0; poke < 4; ++poke) req.test();
+                req.end();
+                for (Index i = dst.range().begin; i < dst.range().end; ++i) {
+                    EXPECT_DOUBLE_EQ(dst.at_global(i), static_cast<double>(n - 1 - i) + 0.25)
+                        << pk::scatter_backend_name(backend) << " round " << round;
+                }
+            }
+            // Split-phase reverse restores the identity.
+            for (Index i = src.range().begin; i < src.range().end; ++i) {
+                src.at_global(i) = -1.0;
+            }
+            pk::ScatterRequest rev = sc.begin_reverse(src, dst, backend);
+            rev.end();
+            for (Index i = src.range().begin; i < src.range().end; ++i) {
+                EXPECT_DOUBLE_EQ(src.at_global(i), static_cast<double>(i) + 0.25)
+                    << pk::scatter_backend_name(backend);
+            }
+        });
     }
 }
 
