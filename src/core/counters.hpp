@@ -120,6 +120,26 @@ struct StatCounters {
     std::uint64_t rt_pool_misses = 0;     ///< pool-eligible acquires that found no free buffer
     std::uint64_t rt_payload_allocs = 0;  ///< payload heap allocations (misses + oversize)
 
+    // Contention-free transport counters (runtime/comm.cpp). The sharded
+    // mailbox delivers along per-(source, dest) lanes: an SPSC lock-free
+    // ring is the fastpath, a mutex-guarded overflow list absorbs ring-full
+    // spill and all SchedulePolicy-routed traffic. rt_lock_acquisitions
+    // counts transport-layer mutex acquisitions (overflow, posted-receive
+    // registry, shared payload pool, in-flight queues) so a workload can
+    // assert its steady state stays off the locks; rt_cv_waits/rt_cv_notifies
+    // count actual condition-variable blocks and wakeups after the bounded
+    // spin-then-sleep and notify-only-when-a-sleeper-is-registered gates.
+    std::uint64_t rt_lane_fast_deliveries = 0;      ///< envelopes delivered via an SPSC lane ring
+    std::uint64_t rt_lane_overflow_deliveries = 0;  ///< envelopes routed via the overflow list
+    std::uint64_t rt_lock_acquisitions = 0;         ///< transport mutex acquisitions
+    std::uint64_t rt_cv_waits = 0;                  ///< condition-variable blocks (post-spin)
+    std::uint64_t rt_cv_notifies = 0;               ///< condition-variable notify calls issued
+    std::uint64_t rt_pool_local_hits = 0;           ///< acquires served by the per-rank pool cache
+    /// High-water mark of bytes resident in the shared payload pool as
+    /// observed by this rank's acquire/release calls. Composes by max, not
+    /// sum: merging counters keeps the largest observed value.
+    std::uint64_t rt_pool_resident_bytes = 0;
+
     // Schedule-graph collective counters (coll/schedule.hpp). Every
     // collective — blocking or icoll — compiles a Schedule and executes it
     // through a CollRequest; these make that path observable like the
@@ -155,6 +175,15 @@ struct StatCounters {
         rt_pool_hits += o.rt_pool_hits;
         rt_pool_misses += o.rt_pool_misses;
         rt_payload_allocs += o.rt_payload_allocs;
+        rt_lane_fast_deliveries += o.rt_lane_fast_deliveries;
+        rt_lane_overflow_deliveries += o.rt_lane_overflow_deliveries;
+        rt_lock_acquisitions += o.rt_lock_acquisitions;
+        rt_cv_waits += o.rt_cv_waits;
+        rt_cv_notifies += o.rt_cv_notifies;
+        rt_pool_local_hits += o.rt_pool_local_hits;
+        if (o.rt_pool_resident_bytes > rt_pool_resident_bytes) {
+            rt_pool_resident_bytes = o.rt_pool_resident_bytes;
+        }
         coll_schedules_built += o.coll_schedules_built;
         coll_schedule_cache_hits += o.coll_schedule_cache_hits;
         coll_rounds_executed += o.coll_rounds_executed;

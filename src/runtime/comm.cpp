@@ -24,6 +24,8 @@ namespace detail {
 /// user-posted wildcard receives on the same communicator.
 inline constexpr int kInternalContextOffset = 1 << 30;
 
+inline constexpr std::size_t kCacheLine = 64;
+
 /// Owning byte buffer for one staged payload. Unlike std::vector, resizing
 /// for reuse never value-initializes: the eager path overwrites every byte
 /// it claims, so a recycled pool buffer costs zero writes beyond the pack
@@ -63,21 +65,47 @@ struct PayloadBuffer {
     }
 };
 
-/// Per-world size-classed pool of payload buffers. Buffers are acquired by
-/// sending ranks when a message takes the buffered-eager path and released
-/// by the receiving rank when the payload has been unpacked, so in steady
-/// state (e.g. a persistent scatter loop) the same buffers cycle between
-/// the ranks and rt_payload_allocs stays flat. Oversize payloads bypass
-/// the pool entirely; per-class capacity bounds retained memory.
+/// Per-world size-classed pool of payload buffers with a per-rank cache in
+/// front of the shared store. Buffers are acquired by sending ranks when a
+/// message takes the buffered-eager path and released by the receiving rank
+/// when the payload has been unpacked, so in steady state the same buffers
+/// cycle between the ranks and rt_payload_allocs stays flat.
+///
+/// The per-rank caches are only ever touched by their owning rank's thread,
+/// so the common acquire/release is lock-free (rt_pool_local_hits); the
+/// shared mutex is paid once per kTransferBatch buffers when a cache runs
+/// dry (batch refill) or over (batch flush). The shared store is bounded
+/// two ways: a per-class buffer-count cap, and a byte budget across all
+/// classes — without the latter, a large size class could pin
+/// capacity x 8 MiB forever. Trimming frees the largest classes first;
+/// resident_bytes_ never exceeds the budget, and its high-water mark is
+/// mirrored into rt_pool_resident_bytes. Oversize payloads bypass the pool
+/// entirely.
 class PayloadPool {
 public:
     static constexpr std::size_t kMinClassBytes = 256;
     static constexpr std::size_t kMaxClassBytes = std::size_t{8} << 20;  // 8 MB
     static constexpr std::size_t kNumClasses = 16;                       // 256 B .. 8 MB
     static constexpr std::size_t kBuffersPerClass = 16;
+    static constexpr std::size_t kCachePerClass = 8;   ///< per-rank shelf cap
+    static constexpr std::size_t kTransferBatch = 4;   ///< buffers per refill/flush
+    static constexpr std::size_t kDefaultBudgetBytes = std::size_t{64} << 20;  // 64 MB
+
+    void init(int nranks) { caches_.resize(static_cast<std::size_t>(nranks)); }
+
+    void set_budget(std::size_t bytes) {
+        std::lock_guard<std::mutex> lk(mu_);
+        budget_bytes_ = bytes;
+        trim_locked();
+    }
+
+    std::size_t resident_bytes() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return resident_bytes_;
+    }
 
     /// Returns a buffer of logical size `bytes` (contents uninitialized).
-    PayloadBuffer acquire(std::size_t bytes, StatCounters& counters) {
+    PayloadBuffer acquire(std::size_t bytes, int rank, StatCounters& counters) {
         PayloadBuffer out;
         if (bytes > kMaxClassBytes) {
             ++counters.rt_payload_allocs;
@@ -85,16 +113,13 @@ public:
             return out;
         }
         const std::size_t idx = class_index(bytes);
-        {
-            std::lock_guard<std::mutex> lk(mu_);
-            auto& shelf = free_[idx];
-            if (!shelf.empty()) {
-                out = std::move(shelf.back());
-                shelf.pop_back();
-            }
-        }
-        if (out.cap > 0) {
+        auto& shelf = caches_[static_cast<std::size_t>(rank)].shelf[idx];
+        if (shelf.empty()) refill(idx, shelf, counters);
+        if (!shelf.empty()) {
+            out = std::move(shelf.back());
+            shelf.pop_back();
             ++counters.rt_pool_hits;
+            ++counters.rt_pool_local_hits;
             out.len = bytes;  // cap >= class size >= bytes
             return out;
         }
@@ -105,26 +130,94 @@ public:
         return out;
     }
 
-    /// Returns a buffer to its size class (or frees it when the class shelf
-    /// is full or the buffer is oversize / undersized for any class).
-    void release(PayloadBuffer&& b) {
+    /// Returns a buffer to the releasing rank's cache (or flushes a batch
+    /// to the shared store when the shelf is full). Buffers that fit no
+    /// class are freed.
+    void release(PayloadBuffer&& b, int rank, StatCounters& counters) {
         if (b.cap < kMinClassBytes || b.cap > kMaxClassBytes) return;  // dropped
         const std::size_t idx = class_index(b.cap);
         if (class_bytes(idx) != b.cap) return;  // not one of ours
-        std::lock_guard<std::mutex> lk(mu_);
-        auto& shelf = free_[idx];
-        if (shelf.size() < kBuffersPerClass) shelf.push_back(std::move(b));
+        auto& shelf = caches_[static_cast<std::size_t>(rank)].shelf[idx];
+        if (shelf.size() >= kCachePerClass) flush(idx, shelf, counters);
+        shelf.push_back(std::move(b));
     }
 
 private:
+    struct RankCache {
+        std::array<std::vector<PayloadBuffer>, kNumClasses> shelf;
+    };
+
     static std::size_t class_bytes(std::size_t idx) { return kMinClassBytes << idx; }
     static std::size_t class_index(std::size_t bytes) {
         if (bytes <= kMinClassBytes) return 0;
         return static_cast<std::size_t>(std::bit_width(bytes - 1)) - 8;  // 256 = 2^8
     }
 
-    std::mutex mu_;
-    std::array<std::vector<PayloadBuffer>, kNumClasses> free_;
+    /// Moves up to kTransferBatch free buffers of class idx into `shelf`.
+    void refill(std::size_t idx, std::vector<PayloadBuffer>& shelf, StatCounters& counters) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++counters.rt_lock_acquisitions;
+        auto& store = free_[idx];
+        for (std::size_t i = 0; i < kTransferBatch && !store.empty(); ++i) {
+            resident_bytes_ -= store.back().cap;
+            shelf.push_back(std::move(store.back()));
+            store.pop_back();
+        }
+    }
+
+    /// Moves kTransferBatch buffers from `shelf` into the shared store,
+    /// honoring the per-class count cap and the byte budget (largest
+    /// classes trimmed first). Overflowing buffers are freed.
+    void flush(std::size_t idx, std::vector<PayloadBuffer>& shelf, StatCounters& counters) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++counters.rt_lock_acquisitions;
+        auto& store = free_[idx];
+        const std::size_t cls = class_bytes(idx);
+        for (std::size_t i = 0; i < kTransferBatch && !shelf.empty(); ++i) {
+            PayloadBuffer b = std::move(shelf.back());
+            shelf.pop_back();
+            if (store.size() >= kBuffersPerClass) continue;  // count cap: drop
+            if (resident_bytes_ + cls > budget_bytes_) {
+                trim_for_locked(cls, idx);
+                if (resident_bytes_ + cls > budget_bytes_) continue;  // still over: drop
+            }
+            resident_bytes_ += cls;
+            store.push_back(std::move(b));
+        }
+        if (resident_bytes_ > high_water_) high_water_ = resident_bytes_;
+        if (high_water_ > counters.rt_pool_resident_bytes) {
+            counters.rt_pool_resident_bytes = high_water_;
+        }
+    }
+
+    /// Frees shelves from the largest class downward until `incoming` bytes
+    /// fit under the budget, never trimming the class being inserted into
+    /// below its own incoming buffer's worth.
+    void trim_for_locked(std::size_t incoming, std::size_t target_idx) {
+        for (std::size_t c = kNumClasses; c-- > 0 && resident_bytes_ + incoming > budget_bytes_;) {
+            if (c == target_idx) continue;  // prefer evicting other classes
+            auto& store = free_[c];
+            while (!store.empty() && resident_bytes_ + incoming > budget_bytes_) {
+                resident_bytes_ -= store.back().cap;
+                store.pop_back();
+            }
+        }
+        // Last resort: shrink the target class itself.
+        auto& store = free_[target_idx];
+        while (!store.empty() && resident_bytes_ + incoming > budget_bytes_) {
+            resident_bytes_ -= store.back().cap;
+            store.pop_back();
+        }
+    }
+
+    void trim_locked() { trim_for_locked(0, kNumClasses - 1); }
+
+    mutable std::mutex mu_;
+    std::array<std::vector<PayloadBuffer>, kNumClasses> free_;  // guarded by mu_
+    std::size_t resident_bytes_ = 0;                            // guarded by mu_
+    std::size_t high_water_ = 0;                                // guarded by mu_
+    std::size_t budget_bytes_ = kDefaultBudgetBytes;            // guarded by mu_
+    std::vector<RankCache> caches_;  ///< caches_[r] touched only by rank r's thread
 };
 
 struct Envelope {
@@ -146,11 +239,13 @@ struct RequestState {
     int tag = kAnyTag;
     int context = 0;
     int owner_rank = -1;
+    std::uint64_t post_seq = 0;  ///< posted-receive ordering across PRQ shards
 
     // Filled when a matching envelope arrives. For rendezvous transfers the
     // envelope is header-only: the sender already moved `direct_bytes` bytes
-    // straight into `buf` before setting `matched`.
-    bool matched = false;
+    // straight into `buf` before the release-store on `matched`; the
+    // acquire-load in the receiver's completion path publishes everything.
+    std::atomic<bool> matched{false};
     bool zero_copy = false;
     std::size_t direct_bytes = 0;
     Envelope env;
@@ -164,19 +259,124 @@ struct RequestState {
     RecvStatus status;
 };
 
-struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Envelope> unexpected;                          // arrival order
-    std::deque<std::shared_ptr<RequestState>> posted;         // post order
+/// Bounded lock-free SPSC ring of envelopes: the fastpath lane between one
+/// (source, dest) pair. The producer is the sending rank's thread (eager
+/// inline delivery; under a SchedulePolicy all traffic routes through the
+/// mutex-guarded overflow instead, so the ring's single-producer invariant
+/// is structural). The consumer is always the destination rank's thread.
+/// Head and tail live on their own cache lines so the producer's store
+/// never bounces the consumer's line.
+class LaneRing {
+public:
+    static constexpr std::uint32_t kSlots = 8;  // power of two
+
+    bool push(Envelope&& e) {
+        const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) >= kSlots) return false;  // full
+        slots_[t & (kSlots - 1)] = std::move(e);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool pop(Envelope& out) {
+        const std::uint32_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire)) return false;  // empty
+        out = std::move(slots_[h & (kSlots - 1)]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+private:
+    std::array<Envelope, kSlots> slots_;
+    alignas(kCacheLine) std::atomic<std::uint32_t> head_{0};  ///< consumer cursor
+    alignas(kCacheLine) std::atomic<std::uint32_t> tail_{0};  ///< producer cursor
 };
 
-/// A packed envelope waiting in the delivery engine's queue.
+/// One per-source delivery lane of a mailbox.
+struct alignas(kCacheLine) Lane {
+    LaneRing ring;
+    /// Envelopes pushed by this lane's source but not yet matched to a
+    /// receive (in the ring, the overflow list, or the receiver's stash).
+    /// A rendezvous sender reading 0 (acquire) knows every earlier message
+    /// of its own is fully matched, so claiming a posted receive cannot
+    /// overtake an older message — the per-pair FIFO proof.
+    std::atomic<std::uint32_t> unconsumed{0};
+    /// Nonzero while the overflow list holds envelopes; the producer spills
+    /// to overflow whenever this is set (or the ring is full), so every
+    /// ring entry is always older than every overflow entry.
+    std::atomic<std::uint32_t> overflow_count{0};
+    std::deque<Envelope> overflow;  ///< guarded by Mailbox::overflow_mu
+    /// Receiver-side staging: envelopes drained from the ring/overflow that
+    /// matched no posted receive (the per-source unexpected queue). Touched
+    /// only by the destination rank's thread — no lock.
+    std::deque<Envelope> stash;
+};
+
+/// One rank's inbox, sharded by source. Matching state splits three ways:
+/// the lanes (producer->consumer envelope transport), the posted-receive
+/// registry (PRQ — shared with rendezvous senders under posted_mu), and the
+/// per-lane stashes (receiver-private unexpected queues). The seq counter
+/// and sleeper registration implement the notify-only-when-someone-sleeps
+/// discipline: deliverers bump seq after every push and take wait_mu/cv
+/// only when a waiter has registered; waiters spin on seq, then register
+/// and re-check before blocking, with a timed wait as the self-healing
+/// backstop (also what absorbs the injected delayed-wakeup fault).
+struct Mailbox {
+    int nranks = 0;
+    std::unique_ptr<Lane[]> lanes;
+    /// Bitmask of lanes holding undrained envelopes, one bit per source.
+    /// Producers set their bit after pushing; the receiver claims whole
+    /// words with exchange(0) and visits only the flagged lanes, so a
+    /// drain costs O(lanes with traffic), not O(world size).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> dirty;
+    int dirty_words = 0;
+
+    // -- posted-receive registry (PRQ), guarded by posted_mu ------------------
+    // Sharded by source with a wildcard sidecar; post_seq orders entries
+    // across shards so matching remains exactly MPI's earliest-posted-first.
+    std::mutex posted_mu;
+    std::vector<std::deque<std::shared_ptr<RequestState>>> prq_by_src;
+    std::deque<std::shared_ptr<RequestState>> prq_wild;
+    std::uint64_t next_post_seq = 0;  // guarded by posted_mu
+
+    // -- delivery pulse / sleep-wake ------------------------------------------
+    alignas(kCacheLine) std::atomic<std::uint64_t> seq{0};  ///< bumped per delivery
+    std::uint64_t drained_seq = 0;  ///< receiver-private: seq at last full drain
+    std::atomic<int> sleepers{0};
+    std::mutex wait_mu;
+    std::condition_variable cv;
+
+    // -- overflow -------------------------------------------------------------
+    std::mutex overflow_mu;  ///< guards every lane's overflow deque
+
+    void init(int n) {
+        nranks = n;
+        lanes = std::make_unique<Lane[]>(static_cast<std::size_t>(n));
+        dirty_words = (n + 63) / 64;
+        dirty = std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(dirty_words));
+        for (int w = 0; w < dirty_words; ++w) dirty[static_cast<std::size_t>(w)].store(0);
+        prq_by_src.resize(static_cast<std::size_t>(n));
+    }
+};
+
+/// A packed envelope waiting in a destination's delivery queue.
 struct InFlight {
     Envelope env;
-    int dest = -1;
     int defer = 0;  ///< progress passes this envelope may still be held
     std::shared_ptr<RequestState> sender;  ///< completed on delivery (may be null)
+};
+
+/// Per-destination shard of the delivery engine. Senders enqueue under mu;
+/// drains are serialized per destination by the `claimed` flag — a second
+/// rank calling progress skips a claimed destination instead of blocking,
+/// so progress calls from different ranks never serialize on one lock.
+struct DestQueue {
+    std::mutex mu;
+    Rng rng;                  ///< guarded by mu; seeded from (policy.seed, dest)
+    std::deque<InFlight> q;   ///< guarded by mu
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<bool> claimed{false};  ///< drain ownership
 };
 
 struct WorldState {
@@ -189,21 +389,23 @@ struct WorldState {
 
     PayloadPool pool;  ///< recycled buffered-eager payload buffers
 
-    // Delivery engine state. prog_mu is held across entire drain passes
-    // (including mailbox delivery) so concurrent drains cannot violate
-    // per-pair FIFO; lock order is always prog_mu -> box.mu, never reversed.
-    std::mutex prog_mu;
-    Rng rng;                     ///< guarded by prog_mu
-    std::deque<InFlight> inflight;  ///< guarded by prog_mu
+    // Delivery engine state, sharded per destination.
+    std::vector<std::unique_ptr<DestQueue>> destq;
     std::atomic<std::uint64_t> inflight_count{0};
+
+    /// Shared immutable request for sends that complete inline (eager
+    /// delivery and successful rendezvous). wait()/test() never write to a
+    /// request that is already complete, so one instance serves every rank.
+    std::shared_ptr<RequestState> done_send;
 
     void abort_all() {
         aborted.store(true, std::memory_order_release);
         for (auto& b : boxes) {
-            // Acquire/release the mutex so every waiter either sees the flag
-            // before sleeping or is inside wait(); notify after unlocking so
-            // woken threads don't immediately block on a mutex we still hold.
-            { std::lock_guard<std::mutex> lk(b->mu); }
+            b->seq.fetch_add(1, std::memory_order_seq_cst);
+            // Acquire/release the sleep mutex so every waiter either sees
+            // the flag before sleeping or is inside wait(); notify after
+            // unlocking so woken threads don't bounce off a held mutex.
+            { std::lock_guard<std::mutex> lk(b->wait_mu); }
             b->cv.notify_all();
         }
     }
@@ -216,79 +418,140 @@ bool matches(const RequestState& req, const Envelope& env) {
            (req.tag == kAnyTag || req.tag == env.tag);
 }
 
-/// Moves an envelope into its destination mailbox: match a posted receive
-/// or append to the unexpected queue. `notify == false` is the delayed-
-/// wakeup fault — waiters recover at their next timed re-poll. The state
-/// change happens under box.mu (so a sleeping waiter's predicate re-check
-/// cannot miss it) but the notify itself fires after unlocking, so the
-/// woken thread never bounces off a mutex the deliverer still holds.
-void deliver(WorldState& world, int dest, Envelope&& env, bool notify = true) {
-    NNCOMM_CHECK_MSG(dest >= 0 && dest < world.nranks, "send to invalid rank");
-    Mailbox& box = *world.boxes[static_cast<std::size_t>(dest)];
-    {
-        std::unique_lock<std::mutex> lk(box.mu);
-        for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-            if (matches(**it, env)) {
-                (*it)->env = std::move(env);
-                (*it)->matched = true;
-                box.posted.erase(it);
-                lk.unlock();
-                if (notify) box.cv.notify_all();
-                return;
-            }
-        }
-        box.unexpected.push_back(std::move(env));
+/// Wakes the destination after a delivery: bump the pulse, and notify only
+/// if a waiter registered as sleeping. seq_cst on both sides closes the
+/// race: a producer that reads sleepers == 0 is ordered before the waiter's
+/// registration, so the waiter's pre-sleep seq re-check must observe the
+/// bump and skip the block.
+void pulse(Mailbox& box, StatCounters& counters, bool notify) {
+    box.seq.fetch_add(1, std::memory_order_seq_cst);
+    if (notify && box.sleepers.load(std::memory_order_seq_cst) > 0) {
+        { std::lock_guard<std::mutex> lk(box.wait_mu); }
+        box.cv.notify_all();
+        ++counters.rt_cv_notifies;
     }
-    if (notify) box.cv.notify_all();  // wake probers
+}
+
+/// Delivers one envelope along its lane: SPSC ring when it has room and no
+/// overflow backlog exists, otherwise the mutex-guarded overflow list.
+/// `force_overflow` routes SchedulePolicy traffic: deliveries made by a
+/// drain-claim holder always use the overflow list, which keeps the ring's
+/// single-producer invariant purely structural (the producer is only ever
+/// the source rank's own thread).
+void deliver_lane(WorldState& world, int dest, Envelope&& env, StatCounters& counters,
+                  bool force_overflow = false, bool notify = true) {
+    NNCOMM_CHECK_MSG(dest >= 0 && dest < world.nranks, "send to invalid rank");
+    const int src = env.source;
+    Mailbox& box = *world.boxes[static_cast<std::size_t>(dest)];
+    Lane& lane = box.lanes[static_cast<std::size_t>(src)];
+    lane.unconsumed.fetch_add(1, std::memory_order_relaxed);
+    if (!force_overflow && lane.overflow_count.load(std::memory_order_acquire) == 0 &&
+        lane.ring.push(std::move(env))) {
+        ++counters.rt_lane_fast_deliveries;
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(box.overflow_mu);
+            ++counters.rt_lock_acquisitions;
+            lane.overflow.push_back(std::move(env));
+            lane.overflow_count.fetch_add(1, std::memory_order_release);
+        }
+        ++counters.rt_lane_overflow_deliveries;
+    }
+    box.dirty[static_cast<std::size_t>(src) >> 6].fetch_or(std::uint64_t{1} << (src & 63),
+                                                           std::memory_order_release);
+    pulse(box, counters, notify);
+}
+
+/// Finds and removes the earliest-posted receive matching `env`, walking
+/// the source shard and the wildcard sidecar merged by post_seq. Caller
+/// holds posted_mu.
+std::shared_ptr<RequestState> match_prq(Mailbox& box, const Envelope& env) {
+    auto& ps = box.prq_by_src[static_cast<std::size_t>(env.source)];
+    auto& pw = box.prq_wild;
+    std::size_t i = 0, j = 0;
+    while (i < ps.size() || j < pw.size()) {
+        const bool from_src =
+            j >= pw.size() || (i < ps.size() && ps[i]->post_seq < pw[j]->post_seq);
+        auto& dq = from_src ? ps : pw;
+        std::size_t& k = from_src ? i : j;
+        if (matches(*dq[k], env)) {
+            std::shared_ptr<RequestState> req = dq[k];
+            dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(k));
+            return req;
+        }
+        ++k;
+    }
+    return nullptr;
 }
 
 }  // namespace
 
-/// One drain pass of the delivery engine: delivers every in-flight envelope
-/// whose defer budget is exhausted, in queue order, skipping any envelope
-/// whose (source, dest) pair already had an earlier envelope held back this
-/// pass — deliveries interleave across distinct pairs but per-pair FIFO is
-/// exactly the queue order. Each pass decrements at least one defer budget
-/// when the queue is nonempty, so repeated passes always terminate.
-/// Perturbation events observed here are charged to the driving rank's
-/// counters. Returns the number of envelopes delivered.
-std::size_t progress_world(WorldState& world, StatCounters& counters) {
-    if (world.inflight_count.load(std::memory_order_acquire) == 0) return 0;
+/// One drain pass of one destination's delivery queue: delivers every
+/// envelope whose defer budget is exhausted, in queue order, skipping any
+/// envelope whose source already had an earlier envelope held back this
+/// pass — deliveries interleave across sources but per-pair FIFO is exactly
+/// the queue order. Each pass decrements at least one defer budget when the
+/// queue is nonempty, so repeated passes always terminate. Perturbation
+/// events observed here are charged to the driving rank's counters.
+/// Returns the number of envelopes delivered. Caller holds the drain claim
+/// and dq.mu.
+std::size_t drain_dest(WorldState& world, int dest, DestQueue& dq, StatCounters& counters) {
     std::size_t delivered = 0;
-    std::lock_guard<std::mutex> lk(world.prog_mu);
-    std::vector<std::pair<int, int>> held;  // pairs with an earlier envelope still queued
+    std::vector<int> held;  // sources with an earlier envelope still queued
     held.reserve(8);
-    auto pair_held = [&](int src, int dst) {
-        for (const auto& p : held) {
-            if (p.first == src && p.second == dst) return true;
+    auto src_held = [&](int src) {
+        for (int s : held) {
+            if (s == src) return true;
         }
         return false;
     };
-    for (auto it = world.inflight.begin(); it != world.inflight.end();) {
+    for (auto it = dq.q.begin(); it != dq.q.end();) {
         const int src = it->env.source;
-        const int dst = it->dest;
-        if (pair_held(src, dst)) {
+        if (src_held(src)) {
             ++it;
             continue;
         }
         if (it->defer > 0) {
             --it->defer;
-            held.emplace_back(src, dst);
+            held.push_back(src);
             ++it;
             continue;
         }
         InFlight f = std::move(*it);
-        it = world.inflight.erase(it);
+        it = dq.q.erase(it);
+        dq.count.fetch_sub(1, std::memory_order_release);
         world.inflight_count.fetch_sub(1, std::memory_order_release);
         bool notify = true;
         if (world.policy.wakeup_delay_prob > 0 &&
-            world.rng.bernoulli(world.policy.wakeup_delay_prob)) {
+            dq.rng.bernoulli(world.policy.wakeup_delay_prob)) {
             notify = false;
             ++counters.sched_wakeup_delays;
         }
-        deliver(world, dst, std::move(f.env), notify);
+        deliver_lane(world, dest, std::move(f.env), counters, /*force_overflow=*/true, notify);
         if (f.sender) f.sender->delivered.store(true, std::memory_order_release);
         ++delivered;
+    }
+    return delivered;
+}
+
+/// Delivery-engine progress: walk the destination shards starting at the
+/// driving rank's own inbox, claim each unclaimed nonempty queue, and drain
+/// it. A queue another rank is already draining is skipped, not waited on.
+std::size_t progress_world(WorldState& world, int self, StatCounters& counters) {
+    if (world.inflight_count.load(std::memory_order_acquire) == 0) return 0;
+    std::size_t delivered = 0;
+    const int n = world.nranks;
+    for (int off = 0; off < n; ++off) {
+        const int d = (self + off) % n;
+        DestQueue& dq = *world.destq[static_cast<std::size_t>(d)];
+        if (dq.count.load(std::memory_order_acquire) == 0) continue;
+        if (dq.claimed.exchange(true, std::memory_order_acquire)) continue;  // owned elsewhere
+        {
+            std::lock_guard<std::mutex> lk(dq.mu);
+            ++counters.rt_lock_acquisitions;
+            delivered += drain_dest(world, d, dq, counters);
+        }
+        dq.claimed.store(false, std::memory_order_release);
     }
     return delivered;
 }
@@ -303,13 +566,127 @@ using detail::WorldState;
 // ---------------------------------------------------------------------------
 // Comm
 
+namespace {
+
+/// Bounded spin before a waiter registers as a sleeper. Kept short: the
+/// check is one relaxed load of the mailbox pulse, and on an oversubscribed
+/// host the yields hand the slice to the rank that will produce the data.
+constexpr int kSpinChecks = 16;
+constexpr int kSpinYields = 4;
+constexpr auto kSleepSlice = std::chrono::microseconds(200);
+
+/// Dense copies below this size are not phase-timed: the two clock reads
+/// would cost more than the copy. Engine-driven noncontiguous packs are
+/// always timed — their chunks amortize the clock.
+constexpr std::size_t kTimedCopyMinBytes = 4096;
+
+}  // namespace
+
 int Comm::size() const { return world_->nranks; }
+
+/// Drains every lane of this rank's mailbox (rings first, then overflow —
+/// ring entries are always older) and runs arrival matching: each envelope
+/// goes to the earliest matching posted receive, or to its lane's stash
+/// (the per-source unexpected queue). Returns true if any envelope was
+/// processed. Only the owning rank's thread calls this.
+bool Comm::process_arrivals() {
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    const std::uint64_t pulse_now = box.seq.load(std::memory_order_seq_cst);
+    if (pulse_now == box.drained_seq) return false;
+    box.drained_seq = pulse_now;
+
+    bool any = false;
+    std::unique_lock<std::mutex> prq_lk;  // taken lazily, once per drain
+    for (int w = 0; w < box.dirty_words; ++w) {
+        std::uint64_t bits =
+            box.dirty[static_cast<std::size_t>(w)].exchange(0, std::memory_order_acquire);
+        while (bits != 0) {
+            const int src = w * 64 + std::countr_zero(bits);
+            bits &= bits - 1;
+            detail::Lane& lane = box.lanes[static_cast<std::size_t>(src)];
+
+            // Every ring entry is older than every overflow entry (the
+            // producer spills only while a backlog exists), so drain the
+            // ring fully first, then the overflow.
+            const bool spill = lane.overflow_count.load(std::memory_order_acquire) > 0;
+            if (!prq_lk.owns_lock()) {
+                prq_lk = std::unique_lock<std::mutex>(box.posted_mu);
+                ++counters_.rt_lock_acquisitions;
+            }
+            // Match in arrival order; misses go to the stash. The
+            // unconsumed decrement for a match happens after the commit
+            // (matched release-store) inside the same posted_mu critical
+            // section: a rendezvous sender that observes the decremented
+            // count must acquire posted_mu to touch the registry, which
+            // orders it after this commit — per-pair FIFO holds.
+            auto sort_one = [&](Envelope&& env) {
+                std::shared_ptr<RequestState> req = detail::match_prq(box, env);
+                if (req) {
+                    req->env = std::move(env);
+                    req->matched.store(true, std::memory_order_release);
+                    lane.unconsumed.fetch_sub(1, std::memory_order_release);
+                } else {
+                    lane.stash.push_back(std::move(env));
+                }
+            };
+            Envelope e;
+            while (lane.ring.pop(e)) sort_one(std::move(e));
+            if (spill) {
+                std::lock_guard<std::mutex> olk(box.overflow_mu);
+                ++counters_.rt_lock_acquisitions;
+                while (!lane.overflow.empty()) {
+                    sort_one(std::move(lane.overflow.front()));
+                    lane.overflow.pop_front();
+                }
+                lane.overflow_count.store(0, std::memory_order_release);
+            }
+            any = true;
+        }
+    }
+    return any;
+}
+
+/// Completion check for a receive request: fast-path the matched flag, and
+/// only re-drain the lanes when the mailbox pulse moved since the last
+/// drain. The receiver-private drained_seq makes repeated calls from a
+/// spin loop nearly free.
+bool Comm::try_complete_recv(RequestState& req) {
+    if (req.matched.load(std::memory_order_acquire)) return true;
+    process_arrivals();
+    return req.matched.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<RequestState> Comm::alloc_request() {
+    constexpr std::size_t kCacheCap = 256;
+    constexpr std::size_t kProbes = 4;
+    const std::size_t n = req_cache_.size();
+    for (std::size_t probe = 0; probe < kProbes && probe < n; ++probe) {
+        req_cursor_ = req_cursor_ + 1 < n ? req_cursor_ + 1 : 0;
+        std::shared_ptr<RequestState>& slot = req_cache_[req_cursor_];
+        if (slot.use_count() == 1) {
+            // Idle: only the cache references it. Scrub and hand it out.
+            RequestState& r = *slot;
+            r.post_seq = 0;
+            r.matched.store(false, std::memory_order_relaxed);
+            r.zero_copy = false;
+            r.direct_bytes = 0;
+            r.env = Envelope{};
+            r.delivered.store(false, std::memory_order_relaxed);
+            r.complete = false;
+            r.status = RecvStatus{};
+            return slot;
+        }
+    }
+    auto r = std::make_shared<RequestState>();
+    if (n < kCacheCap) req_cache_.push_back(r);
+    return r;
+}
 
 Request Comm::irecv_ctx(void* buf, std::size_t count, const dt::Datatype& type, int source,
                         int tag, int context) {
     NNCOMM_CHECK_MSG(source == kAnySource || (source >= 0 && source < size()),
                      "irecv: invalid source rank");
-    auto req = std::make_shared<RequestState>();
+    std::shared_ptr<RequestState> req = alloc_request();
     req->kind = RequestState::Kind::Recv;
     req->buf = buf;
     req->count = count;
@@ -320,16 +697,38 @@ Request Comm::irecv_ctx(void* buf, std::size_t count, const dt::Datatype& type, 
     req->owner_rank = rank_;
 
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
-    std::lock_guard<std::mutex> lk(box.mu);
-    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
-        if (detail::matches(*req, *it)) {
-            req->env = std::move(*it);
-            req->matched = true;
-            box.unexpected.erase(it);
-            return Request(std::move(req));
+    process_arrivals();  // bring the unexpected queues up to date
+
+    // Unexpected-queue scan: take the earliest matching envelope. The
+    // stashes are receiver-private, so the common posted-receive miss and
+    // the probe-then-recv hit are both lock-free.
+    const int lo = source == kAnySource ? 0 : source;
+    const int hi = source == kAnySource ? box.nranks - 1 : source;
+    for (int src = lo; src <= hi; ++src) {
+        detail::Lane& lane = box.lanes[static_cast<std::size_t>(src)];
+        for (auto it = lane.stash.begin(); it != lane.stash.end(); ++it) {
+            if (detail::matches(*req, *it)) {
+                req->env = std::move(*it);
+                lane.stash.erase(it);
+                req->matched.store(true, std::memory_order_relaxed);  // same thread consumes
+                lane.unconsumed.fetch_sub(1, std::memory_order_release);
+                return Request(std::move(req));
+            }
         }
     }
-    box.posted.push_back(req);
+
+    // No queued message: register in the PRQ so arrival matching and
+    // rendezvous senders can find the receive.
+    {
+        std::lock_guard<std::mutex> lk(box.posted_mu);
+        ++counters_.rt_lock_acquisitions;
+        req->post_seq = box.next_post_seq++;
+        if (source == kAnySource) {
+            box.prq_wild.push_back(req);
+        } else {
+            box.prq_by_src[static_cast<std::size_t>(source)].push_back(req);
+        }
+    }
     return Request(std::move(req));
 }
 
@@ -341,28 +740,34 @@ Request Comm::irecv(void* buf, std::size_t count, const dt::Datatype& type, int 
 /// Packs `buf` into an envelope exactly as the buffered-eager path always
 /// has: contiguous layouts in one copy, noncontiguous layouts through the
 /// configured pipelined engine, with the same Comm/Pack/Search accounting.
-/// The payload buffer comes from the per-world pool; zero-byte messages
+/// The payload buffer comes from this rank's pool cache; zero-byte messages
 /// never touch the pool or the allocator at all.
 Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
-                             int tag, int context) {
+                             int tag, int context, std::size_t total) {
     NNCOMM_CHECK(type.valid());
     Envelope env;
     env.source = rank_;
     env.tag = tag;
     env.context = context;
 
-    const std::uint64_t total = static_cast<std::uint64_t>(type.size()) * count;
     if (total == 0) return env;  // header-only: zero-byte sends are pure synchronization
 
-    env.payload = world_->pool.acquire(static_cast<std::size_t>(total), counters_);
+    env.payload = world_->pool.acquire(total, rank_, counters_);
     counters_.rt_bytes_copied += total;  // sender-side staging copy
     const auto& flat = type.flat();
     const bool fully_dense =
-        flat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
+        flat.contiguous() && static_cast<std::ptrdiff_t>(flat.size()) == flat.extent();
     if (fully_dense) {
         // Contiguous fast path: one copy onto the wire, all Comm time.
-        PhaseScope scope(timers_, Phase::Comm);
-        std::memcpy(env.payload.data(), buf, env.payload.size());
+        // Copies below the timing cutoff go unclocked: two steady_clock
+        // reads cost more than the copy itself and would dominate the
+        // small-message rate the transport is built for.
+        if (total >= kTimedCopyMinBytes) {
+            PhaseScope scope(timers_, Phase::Comm);
+            std::memcpy(env.payload.data(), buf, env.payload.size());
+        } else {
+            std::memcpy(env.payload.data(), buf, env.payload.size());
+        }
     } else {
         // Noncontiguous: pipelined chunks through the configured engine.
         auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
@@ -396,18 +801,19 @@ Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datat
 /// is ever allocated. Returns false — caller falls back to buffered eager —
 /// when the receive is not posted, the message is empty or below an Auto
 /// threshold, the hint forces Eager, or a SchedulePolicy is active (deferred
-/// envelopes must all route through the in-flight queue to keep per-pair
+/// envelopes must all route through the delivery queues to keep per-pair
 /// FIFO intact).
 ///
-/// Order safety: irecv_ctx drains matching unexpected envelopes before
-/// posting, so while we hold box.mu a posted receive proves no earlier
-/// matching message of ours is still queued — matching the first posted
-/// entry is exactly what deliver() would have done.
+/// Order safety: our lane's `unconsumed` count must be zero — every earlier
+/// message of ours is fully matched — before a posted receive may be
+/// claimed. The count is decremented only after a match commit is published
+/// under posted_mu, so once we hold posted_mu the registry reflects all of
+/// our earlier traffic and claiming the earliest matching posted entry is
+/// exactly what arrival matching would have done.
 bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                          int tag, int context, Protocol proto) {
+                          int tag, int context, Protocol proto, std::size_t total) {
     if (proto == Protocol::Eager || world_->policy.enabled) return false;
     NNCOMM_CHECK(type.valid());
-    const std::size_t total = type.size() * count;
     if (total == 0) return false;
     if (proto == Protocol::Auto && total < rendezvous_threshold_) return false;
     NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
@@ -418,24 +824,28 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
     header.context = context;
 
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(dest)];
-    std::unique_lock<std::mutex> lk(box.mu);
-    auto it = box.posted.begin();
-    while (it != box.posted.end() && !detail::matches(**it, header)) ++it;
-    if (it == box.posted.end()) return false;  // unposted: degrade to buffered eager
-    std::shared_ptr<RequestState> r = *it;
-    NNCOMM_CHECK_MSG(total <= r->type.size() * r->count, "message longer than receive buffer");
-    box.posted.erase(it);
+    detail::Lane& lane = box.lanes[static_cast<std::size_t>(rank_)];
+    if (lane.unconsumed.load(std::memory_order_acquire) != 0) {
+        return false;  // older messages of ours still in flight: keep FIFO, go eager
+    }
 
-    // The copy runs while box.mu pins the request: the receiver's wait()
-    // cannot observe a half-written buffer, an aborting world cannot unwind
-    // the receive out from under us, and the mutex hand-off gives the bytes
-    // their happens-before edge into the receiving thread.
+    std::unique_lock<std::mutex> lk(box.posted_mu);
+    ++counters_.rt_lock_acquisitions;
+    std::shared_ptr<RequestState> r = detail::match_prq(box, header);
+    if (!r) return false;  // unposted: degrade to buffered eager
+    const auto& rflat = r->type.flat();
+    NNCOMM_CHECK_MSG(total <= rflat.size() * r->count, "message longer than receive buffer");
+
+    // The copy runs while posted_mu pins the request: the receiver's wait()
+    // cannot observe a half-written buffer (matched is still false), an
+    // aborting world cannot unwind the receive out from under us, and the
+    // release-store on matched gives the bytes their happens-before edge
+    // into the receiving thread.
     const auto& sflat = type.flat();
     const bool sdense =
-        sflat.contiguous() && static_cast<std::ptrdiff_t>(type.size()) == type.extent();
-    const auto& rflat = r->type.flat();
+        sflat.contiguous() && static_cast<std::ptrdiff_t>(sflat.size()) == sflat.extent();
     const bool rdense =
-        rflat.contiguous() && static_cast<std::ptrdiff_t>(r->type.size()) == r->type.extent();
+        rflat.contiguous() && static_cast<std::ptrdiff_t>(rflat.size()) == rflat.extent();
     auto* rbase = static_cast<std::byte*>(r->buf);
 
     if (sdense && rdense) {
@@ -519,9 +929,9 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
     r->env = std::move(header);  // header only: carries source/tag for RecvStatus
     r->direct_bytes = total;
     r->zero_copy = true;
-    r->matched = true;
+    r->matched.store(true, std::memory_order_release);
     lk.unlock();
-    box.cv.notify_all();
+    detail::pulse(box, counters_, /*notify=*/true);
     ++counters_.rt_zero_copy_msgs;
     counters_.rt_bytes_copied += total;  // the single pass
     return true;
@@ -529,7 +939,7 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
 
 std::size_t Comm::progress() {
     if (!world_->policy.enabled) return 0;
-    return detail::progress_world(*world_, counters_);
+    return detail::progress_world(*world_, rank_, counters_);
 }
 
 void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
@@ -537,11 +947,11 @@ void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type
     if (!world_->policy.enabled) {
         // Zero-copy rendezvous when the receive is already posted; otherwise
         // the eager fast path — identical to the unperturbed runtime: pack
-        // and hand straight to the destination mailbox, no request state.
-        if (try_rendezvous(buf, count, type, dest, tag, context, proto)) return;
-        Envelope env = pack_envelope(buf, count, type, tag, context);
-        PhaseScope scope(timers_, Phase::Comm);
-        detail::deliver(*world_, dest, std::move(env));
+        // and push straight onto the destination lane, no request state.
+        const std::size_t total = type.size() * count;
+        if (try_rendezvous(buf, count, type, dest, tag, context, proto, total)) return;
+        Envelope env = pack_envelope(buf, count, type, tag, context, total);
+        detail::deliver_lane(*world_, dest, std::move(env), counters_);
         return;
     }
     Request r = isend_ctx(buf, count, type, dest, tag, context, proto);
@@ -551,43 +961,38 @@ void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type
 Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                         int tag, int context, Protocol proto) {
     NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
-    if (!world_->policy.enabled && try_rendezvous(buf, count, type, dest, tag, context, proto)) {
-        // Transfer already completed into the receiver's buffer.
-        auto done = std::make_shared<RequestState>();
-        done->kind = RequestState::Kind::Send;
-        done->owner_rank = rank_;
-        done->delivered.store(true, std::memory_order_release);
-        done->complete = true;
-        return Request(std::move(done));
+    const SchedulePolicy& pol = world_->policy;
+    if (!pol.enabled) {
+        // Transfer completes inline — rendezvous straight into the posted
+        // receive, or buffered-eager delivery onto the destination lane —
+        // so the request is born complete and the shared singleton serves.
+        const std::size_t total = type.size() * count;
+        if (!try_rendezvous(buf, count, type, dest, tag, context, proto, total)) {
+            Envelope env = pack_envelope(buf, count, type, tag, context, total);
+            detail::deliver_lane(*world_, dest, std::move(env), counters_);
+        }
+        return Request(world_->done_send);
     }
-    Envelope env = pack_envelope(buf, count, type, tag, context);
+    Envelope env = pack_envelope(buf, count, type, tag, context, type.size() * count);
     auto req = std::make_shared<RequestState>();
     req->kind = RequestState::Kind::Send;
     req->owner_rank = rank_;
 
-    const SchedulePolicy& pol = world_->policy;
-    if (!pol.enabled) {
-        // Buffered-eager: delivered inline, request born complete.
-        PhaseScope scope(timers_, Phase::Comm);
-        detail::deliver(*world_, dest, std::move(env));
-        req->delivered.store(true, std::memory_order_release);
-        req->complete = true;
-        return Request(std::move(req));
-    }
-
-    // Genuinely pending: enqueue on the delivery engine under the seeded
-    // schedule. All perturbation draws share the world RNG under prog_mu.
-    const std::uint64_t bytes = env.payload.size();
+    // Genuinely pending: enqueue on the destination's delivery queue under
+    // the seeded schedule. All perturbation draws for one destination share
+    // that destination's RNG stream under its queue lock.
+    const std::size_t bytes = env.payload.size();
     const bool internal = context >= detail::kInternalContextOffset;
     int stall_spins = 0;
+    detail::DestQueue& dq = *world_->destq[static_cast<std::size_t>(dest)];
     {
         PhaseScope scope(timers_, Phase::Comm);
-        std::lock_guard<std::mutex> lk(world_->prog_mu);
-        Rng& rng = world_->rng;
+        std::lock_guard<std::mutex> lk(dq.mu);
+        ++counters_.rt_lock_acquisitions;
+        Rng& rng = dq.rng;
 
         detail::InFlight f;
         f.env = std::move(env);
-        f.dest = dest;
         f.sender = req;
         if (pol.defer_prob > 0 && pol.max_defer > 0 && rng.bernoulli(pol.defer_prob)) {
             f.defer = static_cast<int>(rng.uniform_u64(1, static_cast<std::uint64_t>(pol.max_defer)));
@@ -603,15 +1008,15 @@ Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& 
         // Bounded reordering fault: only internal-context (collective)
         // traffic, which is epoch-tagged and must survive same-pair FIFO
         // violations. User point-to-point ordering is never perturbed.
-        auto pos = world_->inflight.end();
+        auto pos = dq.q.end();
         if (internal && pol.reorder_prob > 0 && pol.max_reorder > 0 &&
             rng.bernoulli(pol.reorder_prob)) {
             const int jump =
                 static_cast<int>(rng.uniform_u64(1, static_cast<std::uint64_t>(pol.max_reorder)));
             int overtaken = 0;
-            while (pos != world_->inflight.begin() && overtaken < jump) {
+            while (pos != dq.q.begin() && overtaken < jump) {
                 auto prev = std::prev(pos);
-                if (prev->env.source == rank_ && prev->dest == dest) {
+                if (prev->env.source == rank_) {
                     if (prev->env.context < detail::kInternalContextOffset) break;
                     ++overtaken;
                 }
@@ -619,7 +1024,8 @@ Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& 
             }
             if (overtaken > 0) ++counters_.sched_reorders;
         }
-        world_->inflight.insert(pos, std::move(f));
+        dq.q.insert(pos, std::move(f));
+        dq.count.fetch_add(1, std::memory_order_release);
         world_->inflight_count.fetch_add(1, std::memory_order_release);
         ++counters_.sched_pending_sends;
 
@@ -669,29 +1075,60 @@ RecvStatus Comm::wait(Request& request) {
 
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
     if (!world_->policy.enabled) {
-        std::unique_lock<std::mutex> lk(box.mu);
-        box.cv.wait(lk, [&] {
-            return req.matched || world_->aborted.load(std::memory_order_acquire);
-        });
-        if (!req.matched) throw AbortedError("runtime aborted while waiting for a message");
+        // Spin-then-sleep: a bounded burst of pulse checks (one relaxed
+        // load when nothing changed), a few yields, then a registered
+        // sleep. The deliverer notifies only when it sees the registration;
+        // the timed wait is the self-healing backstop. A matched request
+        // always completes, even when the world is aborting — the message
+        // is here; consuming it cannot mask the root cause.
+        int spins = 0;
+        while (!try_complete_recv(req)) {
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while waiting for a message");
+            }
+            ++spins;
+            if (spins <= kSpinChecks) {
+                continue;
+            }
+            if (spins <= kSpinChecks + kSpinYields) {
+                std::this_thread::yield();
+                continue;
+            }
+            spins = 0;
+            box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> lk(box.wait_mu);
+                if (box.seq.load(std::memory_order_seq_cst) == box.drained_seq &&
+                    !req.matched.load(std::memory_order_acquire) &&
+                    !world_->aborted.load(std::memory_order_acquire)) {
+                    ++counters_.rt_cv_waits;
+                    box.cv.wait_for(lk, kSleepSlice);
+                }
+            }
+            box.sleepers.fetch_sub(1, std::memory_order_release);
+        }
     } else {
         // Perturbed schedule: this waiter must also drive the delivery
         // engine, and re-polls on a timeout so suppressed notifications
-        // (the delayed-wakeup fault) self-heal. A matched request always
-        // completes, even when the world is already aborting — the message
-        // is here; consuming it cannot mask the root cause.
+        // (the delayed-wakeup fault) self-heal.
         for (;;) {
             const bool delivered_any = progress() > 0;
-            std::unique_lock<std::mutex> lk(box.mu);
-            if (req.matched) break;
+            if (try_complete_recv(req)) break;
             if (world_->aborted.load(std::memory_order_acquire)) {
                 throw AbortedError("runtime aborted while waiting for a message");
             }
             if (!delivered_any) {
-                box.cv.wait_for(lk, std::chrono::microseconds(100), [&] {
-                    return req.matched || world_->aborted.load(std::memory_order_acquire);
-                });
-                if (req.matched) break;
+                box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+                {
+                    std::unique_lock<std::mutex> lk(box.wait_mu);
+                    if (box.seq.load(std::memory_order_seq_cst) == box.drained_seq &&
+                        !req.matched.load(std::memory_order_acquire) &&
+                        !world_->aborted.load(std::memory_order_acquire)) {
+                        ++counters_.rt_cv_waits;
+                        box.cv.wait_for(lk, std::chrono::microseconds(100));
+                    }
+                }
+                box.sleepers.fetch_sub(1, std::memory_order_release);
             }
         }
     }
@@ -710,15 +1147,19 @@ RecvStatus Comm::finish_recv(RequestState& req) {
         return req.status;
     }
 
-    // Unpack outside the lock; only this rank's thread touches req now.
-    const std::size_t capacity = req.type.size() * req.count;
+    // Unpack on the owning thread; only this rank's thread touches req now.
+    const auto& flat = req.type.flat();
+    const std::size_t capacity = flat.size() * req.count;
     NNCOMM_CHECK_MSG(req.env.payload.size() <= capacity, "message longer than receive buffer");
     if (!req.env.payload.empty()) {
         counters_.rt_bytes_copied += req.env.payload.size();  // receive-side copy
-        const auto& flat = req.type.flat();
-        if (flat.contiguous() && static_cast<std::ptrdiff_t>(req.type.size()) == req.type.extent()) {
-            PhaseScope scope(timers_, Phase::Comm);
-            std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
+        if (flat.contiguous() && static_cast<std::ptrdiff_t>(flat.size()) == flat.extent()) {
+            if (req.env.payload.size() >= kTimedCopyMinBytes) {
+                PhaseScope scope(timers_, Phase::Comm);
+                std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
+            } else {
+                std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
+            }
         } else {
             // Receive-side scatter: specialized plan kernels when the layout
             // compiles to one, generic cursor walk otherwise.
@@ -740,7 +1181,8 @@ RecvStatus Comm::finish_recv(RequestState& req) {
     req.status.source = req.env.source;
     req.status.tag = req.env.tag;
     req.status.bytes = req.env.payload.size();
-    world_->pool.release(std::move(req.env.payload));  // recycle for future sends
+    // Recycle through this rank's pool cache for future sends.
+    world_->pool.release(std::move(req.env.payload), rank_, counters_);
     req.complete = true;
     return req.status;
 }
@@ -772,19 +1214,14 @@ bool Comm::test(Request& request, RecvStatus* status) {
         return true;
     }
 
-    // `matched` is written under the owner mailbox's mutex; take it briefly
-    // to read a coherent value. A matched request always completes, even
-    // when the world is aborting — consuming an arrived message cannot mask
-    // the root cause (same rule as wait()).
-    Mailbox& box = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
-    {
-        std::lock_guard<std::mutex> lk(box.mu);
-        if (!req.matched) {
-            if (world_->aborted.load(std::memory_order_acquire)) {
-                throw AbortedError("runtime aborted while testing a receive");
-            }
-            return false;
+    // A matched request always completes, even when the world is aborting —
+    // consuming an arrived message cannot mask the root cause (same rule
+    // as wait()).
+    if (!try_complete_recv(req)) {
+        if (world_->aborted.load(std::memory_order_acquire)) {
+            throw AbortedError("runtime aborted while testing a receive");
         }
+        return false;
     }
     const RecvStatus st = finish_recv(req);
     if (status) *status = st;
@@ -838,60 +1275,88 @@ RecvStatus Comm::sendrecv_i(const void* sendbuf, std::size_t sendcount,
 }
 
 namespace {
+
+/// Scans the receiver-private stashes for a message matching (source, tag,
+/// context) without consuming it. The stashes hold exactly the envelopes
+/// that matched no posted receive — the unexpected queue probe reports on.
 ProbeStatus scan_unexpected(Mailbox& box, int source, int tag, int context) {
-    // Caller holds box.mu.
     detail::RequestState pattern;
     pattern.source = source;
     pattern.tag = tag;
     pattern.context = context;
-    for (const Envelope& env : box.unexpected) {
-        if (detail::matches(pattern, env)) {
-            return ProbeStatus{true, env.source, env.tag, env.payload.size()};
+    const int lo = source == kAnySource ? 0 : source;
+    const int hi = source == kAnySource ? box.nranks - 1 : source;
+    for (int src = lo; src <= hi; ++src) {
+        for (const Envelope& env : box.lanes[static_cast<std::size_t>(src)].stash) {
+            if (detail::matches(pattern, env)) {
+                return ProbeStatus{true, env.source, env.tag, env.payload.size()};
+            }
         }
     }
     return ProbeStatus{};
 }
+
 }  // namespace
 
 ProbeStatus Comm::probe(int source, int tag) {
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
     if (!world_->policy.enabled) {
-        std::unique_lock<std::mutex> lk(box.mu);
+        int spins = 0;
         for (;;) {
+            process_arrivals();
             ProbeStatus st = scan_unexpected(box, source, tag, context_);
             if (st.found) return st;
-            box.cv.wait(lk, [&] {
-                return world_->aborted.load(std::memory_order_acquire) ||
-                       scan_unexpected(box, source, tag, context_).found;
-            });
             if (world_->aborted.load(std::memory_order_acquire)) {
                 throw AbortedError("runtime aborted while probing");
             }
+            ++spins;
+            if (spins <= kSpinChecks) continue;
+            if (spins <= kSpinChecks + kSpinYields) {
+                std::this_thread::yield();
+                continue;
+            }
+            spins = 0;
+            box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> lk(box.wait_mu);
+                if (box.seq.load(std::memory_order_seq_cst) == box.drained_seq &&
+                    !world_->aborted.load(std::memory_order_acquire)) {
+                    ++counters_.rt_cv_waits;
+                    box.cv.wait_for(lk, kSleepSlice);
+                }
+            }
+            box.sleepers.fetch_sub(1, std::memory_order_release);
         }
     }
     // Perturbed schedule: drive delivery between scans and re-poll on a
     // timeout (probes have no matched flag a notify could be tied to).
     for (;;) {
         const bool delivered_any = progress() > 0;
-        std::unique_lock<std::mutex> lk(box.mu);
+        process_arrivals();
         ProbeStatus st = scan_unexpected(box, source, tag, context_);
         if (st.found) return st;
         if (world_->aborted.load(std::memory_order_acquire)) {
             throw AbortedError("runtime aborted while probing");
         }
         if (!delivered_any) {
-            box.cv.wait_for(lk, std::chrono::microseconds(100), [&] {
-                return world_->aborted.load(std::memory_order_acquire) ||
-                       scan_unexpected(box, source, tag, context_).found;
-            });
+            box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> lk(box.wait_mu);
+                if (box.seq.load(std::memory_order_seq_cst) == box.drained_seq &&
+                    !world_->aborted.load(std::memory_order_acquire)) {
+                    ++counters_.rt_cv_waits;
+                    box.cv.wait_for(lk, std::chrono::microseconds(100));
+                }
+            }
+            box.sleepers.fetch_sub(1, std::memory_order_release);
         }
     }
 }
 
 ProbeStatus Comm::iprobe(int source, int tag) {
     progress();  // an in-flight message "is there" once the engine can deliver it
+    process_arrivals();
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
-    std::lock_guard<std::mutex> lk(box.mu);
     return scan_unexpected(box, source, tag, context_);
 }
 
@@ -934,7 +1399,17 @@ World::World(int nranks) : nranks_(nranks), state_(std::make_unique<WorldState>(
     NNCOMM_CHECK_MSG(nranks >= 1, "World needs at least one rank");
     state_->nranks = nranks;
     state_->boxes.reserve(static_cast<std::size_t>(nranks));
-    for (int i = 0; i < nranks; ++i) state_->boxes.push_back(std::make_unique<Mailbox>());
+    state_->destq.reserve(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+        state_->boxes.push_back(std::make_unique<Mailbox>());
+        state_->boxes.back()->init(nranks);
+        state_->destq.push_back(std::make_unique<detail::DestQueue>());
+    }
+    state_->pool.init(nranks);
+    state_->done_send = std::make_shared<RequestState>();
+    state_->done_send->kind = RequestState::Kind::Send;
+    state_->done_send->delivered.store(true, std::memory_order_release);
+    state_->done_send->complete = true;
 }
 
 World::~World() = default;
@@ -943,20 +1418,46 @@ void World::set_schedule(const SchedulePolicy& policy) { state_->policy = policy
 
 const SchedulePolicy& World::schedule() const { return state_->policy; }
 
+void World::set_payload_pool_budget(std::size_t bytes) { state_->pool.set_budget(bytes); }
+
+std::size_t World::payload_pool_resident_bytes() const { return state_->pool.resident_bytes(); }
+
 void World::run(const std::function<void(Comm&)>& fn) {
     // Reset abort state and clear any residue from a previous run.
     state_->aborted.store(false);
     for (auto& b : state_->boxes) {
-        std::lock_guard<std::mutex> lk(b->mu);
-        b->unexpected.clear();
-        b->posted.clear();
+        std::lock_guard<std::mutex> plk(b->posted_mu);
+        std::lock_guard<std::mutex> olk(b->overflow_mu);
+        for (int s = 0; s < b->nranks; ++s) {
+            detail::Lane& lane = b->lanes[static_cast<std::size_t>(s)];
+            Envelope e;
+            while (lane.ring.pop(e)) {
+            }
+            lane.overflow.clear();
+            lane.stash.clear();
+            lane.unconsumed.store(0);
+            lane.overflow_count.store(0);
+        }
+        for (int w = 0; w < b->dirty_words; ++w) b->dirty[static_cast<std::size_t>(w)].store(0);
+        for (auto& q : b->prq_by_src) q.clear();
+        b->prq_wild.clear();
+        b->next_post_seq = 0;
+        b->drained_seq = b->seq.load();
+        b->sleepers.store(0);
     }
-    {
-        std::lock_guard<std::mutex> lk(state_->prog_mu);
-        state_->inflight.clear();
-        state_->inflight_count.store(0);
-        state_->rng.reseed(state_->policy.seed);
+    for (int d = 0; d < nranks_; ++d) {
+        detail::DestQueue& dq = *state_->destq[static_cast<std::size_t>(d)];
+        std::lock_guard<std::mutex> lk(dq.mu);
+        dq.q.clear();
+        dq.count.store(0);
+        dq.claimed.store(false);
+        // Each destination draws from its own seeded stream so schedules
+        // stay reproducible per (seed, destination) without a global RNG
+        // lock serializing enqueues.
+        dq.rng.reseed(state_->policy.seed ^
+                      (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(d) + 1)));
     }
+    state_->inflight_count.store(0);
     faulting_rank_ = -1;
 
     // Root-cause error slot. A woken waiter's secondary AbortedError can

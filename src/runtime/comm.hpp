@@ -44,6 +44,26 @@
 // Collectives pass explicit Protocol hints so algorithm knowledge (the
 // large bin of binned alltoallw, the bulk phases of allgatherv) overrides
 // the size heuristic; user point-to-point traffic uses Protocol::Auto.
+//
+// Transport: each rank's mailbox is sharded by source into per-(source,
+// dest) lanes. The buffered-eager fastpath pushes envelopes onto a lane's
+// lock-free SPSC ring; ring-full spill and all SchedulePolicy-routed
+// traffic go through a mutex-guarded per-lane overflow list that preserves
+// per-pair FIFO (ring entries are always older than overflow entries).
+// Receivers pull: arrival matching runs on the destination rank's own
+// thread against a posted-receive registry (sharded by source, ordered
+// across shards by post sequence — MPI's earliest-posted-first), and
+// unmatched envelopes land in receiver-private per-source stashes that
+// irecv/probe scan without locks. Rendezvous senders claim posted receives
+// directly under the registry lock, gated on the lane's unconsumed count so
+// a large message can never overtake an earlier small one from the same
+// sender. The delivery engine is sharded per destination with an atomic
+// drain claim instead of a global lock, the payload pool fronts its shared
+// store with per-rank caches (batch refill/flush under a byte budget), and
+// waiters spin briefly on a per-mailbox sequence counter before registering
+// as sleepers — deliverers only touch the condition variable when a sleeper
+// is registered. The rt_lane_* / rt_lock_acquisitions / rt_cv_* /
+// rt_pool_local_hits counters make all of this observable.
 #pragma once
 
 #include <cstddef>
@@ -259,9 +279,20 @@ private:
     Request isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                       int tag, int context, Protocol proto = Protocol::Auto);
     detail::Envelope pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
-                                   int tag, int context);
+                                   int tag, int context, std::size_t total);
     bool try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
-                        int tag, int context, Protocol proto);
+                        int tag, int context, Protocol proto, std::size_t total);
+    /// Returns a fresh receive request, recycling an idle RequestState from
+    /// this communicator's cache when one is free (use_count == 1 means
+    /// only the cache still references it).
+    std::shared_ptr<detail::RequestState> alloc_request();
+    /// Drains this rank's lanes (rings, then overflow) and runs arrival
+    /// matching against the posted-receive registry; misses go to the
+    /// per-source stashes. Returns true if any envelope was processed.
+    bool process_arrivals();
+    /// Fast completion check for a receive: matched flag first, then a
+    /// pulse-gated process_arrivals(). Cheap enough to sit in a spin loop.
+    bool try_complete_recv(detail::RequestState& req);
     /// Receive-side completion: unpacks a matched request's payload into the
     /// user buffer (or just fills the status for zero-copy rendezvous
     /// arrivals) and recycles the envelope. Shared by wait() and test().
@@ -280,6 +311,8 @@ private:
     dt::EngineConfig engine_config_{};
     PhaseTimers timers_;
     StatCounters counters_;
+    std::vector<std::shared_ptr<detail::RequestState>> req_cache_;
+    std::size_t req_cursor_ = 0;
 };
 
 /// A set of ranks executed as threads.
@@ -308,6 +341,13 @@ public:
 
     /// Rank whose exception the last run() rethrew (-1 if it succeeded).
     int faulting_rank() const { return faulting_rank_; }
+
+    /// Caps the bytes the shared payload-pool store may keep resident
+    /// (per-rank caches excluded). Shrinking the budget trims immediately,
+    /// largest size classes first. Default 64 MiB.
+    void set_payload_pool_budget(std::size_t bytes);
+    /// Bytes currently resident in the shared payload-pool store.
+    std::size_t payload_pool_resident_bytes() const;
 
 private:
     int nranks_;

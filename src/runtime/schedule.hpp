@@ -1,11 +1,21 @@
 // Schedule perturbation and fault injection for the delivery engine.
 //
 // With the default policy (`SchedulePolicy::none()`) every send is packed
-// and handed to the destination mailbox inline, exactly as fast as the
-// hardware allows — the production path. With a perturbation policy the
-// runtime becomes *truly* nonblocking: isend/isend_i enqueue their packed
-// envelope on a per-world in-flight queue and a delivery engine, driven
-// from wait/waitall/probe/iprobe, drains it under a seeded schedule that
+// and pushed onto the destination mailbox's per-source SPSC lane inline,
+// exactly as fast as the hardware allows — the production path. With a
+// perturbation policy the runtime becomes *truly* nonblocking: isend/
+// isend_i enqueue their packed envelope on a per-destination delivery
+// queue (each with its own RNG derived as
+// `seed ^ (0x9E3779B97F4A7C15 * (dest + 1))`, so decisions for one
+// destination are reproducible regardless of how traffic to others
+// interleaves) and a delivery engine, driven from wait/waitall/probe/
+// iprobe, drains it under the seeded schedule. Drain ownership is
+// claim-based — a progress pass atomically claims a destination's queue
+// and skips queues other threads own, so pollers divide the work instead
+// of serializing on a global progress lock. Policy-routed envelopes enter
+// the mailbox through the lanes' mutex-guarded overflow lists (the
+// reorder/stall machinery breaks the rings' single-producer invariant;
+// see the transport notes in runtime/comm.hpp). The schedule
 //
 //   - defers individual envelopes for a bounded number of progress passes,
 //     interleaving deliveries across distinct (source, dest) pairs while

@@ -404,4 +404,49 @@ TEST(Rendezvous, IsendCompletesInlineWhenReceivePosted) {
     EXPECT_EQ(s.zero_copy.load(), 1u);
 }
 
+// Regression for the pool byte budget. The per-class cap bounds buffer
+// COUNT only, so before the budget existed a burst of large eager messages
+// could pin count-cap x 8 MiB in the shared store forever. The budget must
+// bound the store's resident bytes at every point (trimming largest
+// classes first on insert), the rt_pool_resident_bytes counter must record
+// the high water, and shrinking the budget must trim immediately.
+TEST(PayloadPoolBudget, SharedStoreHonorsByteBudget) {
+    constexpr std::size_t kBudget = 1 << 20;  // 1 MiB
+    constexpr std::size_t kMsg = 256 * 1024;  // one 256 KiB size class
+    constexpr int kMsgs = 24;  // enough releases to flush the receiver shelf repeatedly
+    std::atomic<std::uint64_t> high_water{0};
+    World w(2);
+    w.set_payload_pool_budget(kBudget);
+    w.run([&](Comm& c) {
+        // Force buffered eager so every payload stages in the pool.
+        c.set_rendezvous_threshold(std::numeric_limits<std::size_t>::max());
+        if (c.rank() == 0) {
+            std::vector<std::uint8_t> out(kMsg, 0x3D);
+            for (int i = 0; i < kMsgs; ++i) {
+                c.send(out.data(), kMsg, Datatype::byte(), 1, kDataTag);
+            }
+        } else {
+            // Drain after the fact: each finish_recv releases a 256 KiB
+            // buffer onto this rank's shelf, whose overflow flushes batches
+            // into the budgeted shared store.
+            std::vector<std::uint8_t> in(kMsg, 0);
+            for (int i = 0; i < kMsgs; ++i) {
+                c.recv(in.data(), kMsg, Datatype::byte(), 0, kDataTag);
+                EXPECT_EQ(in[0], 0x3D);
+                EXPECT_EQ(in[kMsg - 1], 0x3D);
+            }
+        }
+        c.barrier();
+        std::uint64_t hw = c.counters().rt_pool_resident_bytes;
+        std::uint64_t cur = high_water.load();
+        while (hw > cur && !high_water.compare_exchange_weak(cur, hw)) {
+        }
+    });
+    EXPECT_LE(w.payload_pool_resident_bytes(), kBudget);
+    EXPECT_GT(high_water.load(), 0u) << "flushes never reached the shared store";
+    EXPECT_LE(high_water.load(), kBudget) << "budget was exceeded at some point";
+    w.set_payload_pool_budget(0);  // shrink: must trim the store right away
+    EXPECT_EQ(w.payload_pool_resident_bytes(), 0u);
+}
+
 }  // namespace

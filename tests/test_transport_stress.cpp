@@ -1,0 +1,260 @@
+// Transport stress matrix for the sharded lane mailboxes: the all-pairs
+// storm, wildcard sinks, ring-overflow bursts and mixed-protocol FIFO
+// streams, crossed with the seeded SchedulePolicy perturbation ladder
+// (level 0 = policy off, the SPSC fastpath; levels 1-3 = all traffic
+// routed through the per-destination delivery queues and the overflow
+// lists) and three rendezvous thresholds (0 = every nonempty send attempts
+// zero-copy, 32 KiB = the default split, SIZE_MAX = pure buffered eager).
+// Run under the `stress` ctest label, which the asan/tsan presets execute —
+// ThreadSanitizer over this matrix is what validates the lock-free
+// ring/claim/pulse protocol end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace {
+
+using namespace nncomm;
+using dt::Datatype;
+using rt::Comm;
+using rt::Request;
+using rt::SchedulePolicy;
+using rt::World;
+
+// Same fixed seed set as test_schedule_stress: failures name their
+// (seed, level, threshold) triple in the test name.
+constexpr std::uint64_t kSeeds[] = {1, 7, 23, 42, 101, 271, 1009, 65537};
+constexpr std::size_t kThresholds[] = {0, 32 * 1024, std::numeric_limits<std::size_t>::max()};
+
+class TransportMatrix
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, std::size_t>> {
+protected:
+    std::uint64_t seed() const { return std::get<0>(GetParam()); }
+    int level() const { return std::get<1>(GetParam()); }
+    std::size_t threshold() const { return std::get<2>(GetParam()); }
+    bool perturbed() const { return level() > 0; }
+
+    void install(World& w) const {
+        if (perturbed()) w.set_schedule(SchedulePolicy::perturb(seed(), level()));
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Matrix, TransportMatrix,
+                         ::testing::Combine(::testing::ValuesIn(kSeeds),
+                                            ::testing::Values(0, 1, 2, 3),
+                                            ::testing::ValuesIn(kThresholds)));
+
+// All-pairs storm: every rank exchanges a tagged word with every peer each
+// round, waiting the whole batch. Verifies payloads, then that the
+// delivery path taken matches the mode: policy off runs on the SPSC rings,
+// an active policy routes every envelope through the overflow lists (the
+// rings' single-producer invariant is structural, so they must stay idle).
+TEST_P(TransportMatrix, AllPairsStormPayloadsAndPaths) {
+    constexpr int kRanks = 6;
+    constexpr int kRounds = 6;
+    World w(kRanks);
+    install(w);
+    std::atomic<std::uint64_t> fast{0}, overflow{0};
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const int n = c.size();
+        const int me = c.rank();
+        std::vector<int> out(static_cast<std::size_t>(n)), in(static_cast<std::size_t>(n));
+        std::vector<Request> reqs;
+        for (int r = 0; r < kRounds; ++r) {
+            reqs.clear();
+            for (int p = 0; p < n; ++p) {
+                if (p == me) continue;
+                in[static_cast<std::size_t>(p)] = -1;
+                reqs.push_back(c.irecv(&in[static_cast<std::size_t>(p)], sizeof(int),
+                                       Datatype::byte(), p, 11));
+            }
+            for (int p = 0; p < n; ++p) {
+                if (p == me) continue;
+                out[static_cast<std::size_t>(p)] = me * 100000 + p * 100 + r;
+                reqs.push_back(c.isend(&out[static_cast<std::size_t>(p)], sizeof(int),
+                                       Datatype::byte(), p, 11));
+            }
+            c.waitall(reqs);
+            for (int p = 0; p < n; ++p) {
+                if (p == me) continue;
+                EXPECT_EQ(in[static_cast<std::size_t>(p)], p * 100000 + me * 100 + r)
+                    << "round " << r << " from " << p;
+            }
+        }
+        fast += c.counters().rt_lane_fast_deliveries;
+        overflow += c.counters().rt_lane_overflow_deliveries;
+    });
+    if (perturbed()) {
+        EXPECT_EQ(fast.load(), 0u) << "policy traffic must bypass the SPSC rings";
+        EXPECT_GT(overflow.load(), 0u);
+    } else {
+        EXPECT_GT(fast.load(), 0u) << "posted-receive eager case must ride the fastpath";
+    }
+}
+
+// Wildcard sink: one rank absorbs tagged streams from every peer through
+// kAnySource/kAnyTag receives. Each message must arrive exactly once, and
+// messages from one source must be matched in their send order even when
+// the wildcard lets the matcher pick any lane.
+TEST_P(TransportMatrix, WildcardSinkPreservesPerSourceOrder) {
+    constexpr int kRanks = 5;
+    constexpr int kPerSource = 16;
+    World w(kRanks);
+    install(w);
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const int n = c.size();
+        if (c.rank() == 0) {
+            const int total = (n - 1) * kPerSource;
+            std::vector<int> last_seq(static_cast<std::size_t>(n), -1);
+            std::vector<int> seen(static_cast<std::size_t>(n), 0);
+            for (int i = 0; i < total; ++i) {
+                int v = -1;
+                rt::RecvStatus st =
+                    c.recv(&v, sizeof(int), Datatype::byte(), rt::kAnySource, rt::kAnyTag);
+                ASSERT_GE(st.source, 1);
+                ASSERT_LT(st.source, n);
+                EXPECT_EQ(st.tag, 5 + st.source);
+                const int seq = v - st.source * 1000;
+                EXPECT_GT(seq, last_seq[static_cast<std::size_t>(st.source)])
+                    << "per-source order violated by wildcard matching";
+                last_seq[static_cast<std::size_t>(st.source)] = seq;
+                ++seen[static_cast<std::size_t>(st.source)];
+            }
+            for (int s = 1; s < n; ++s) {
+                EXPECT_EQ(seen[static_cast<std::size_t>(s)], kPerSource) << "source " << s;
+            }
+        } else {
+            for (int i = 0; i < kPerSource; ++i) {
+                const int v = c.rank() * 1000 + i;
+                c.send(&v, sizeof(int), Datatype::byte(), 0, 5 + c.rank());
+            }
+        }
+    });
+}
+
+// Burst past the ring capacity with no receive posted: the lane must spill
+// to its overflow list (strictly after the ring entries) and the receiver
+// must replay ring + overflow in exact send order. The trailing
+// higher-tag message is received FIRST, proving the whole burst sat
+// unexpected (stash) rather than racing the receives.
+TEST_P(TransportMatrix, RingOverflowBurstKeepsFifo) {
+    constexpr int kBurst = 64;  // ring holds 8: most of the burst overflows
+    World w(2);
+    install(w);
+    std::atomic<std::uint64_t> overflow{0};
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        if (c.rank() == 0) {
+            for (int i = 0; i < kBurst; ++i) {
+                c.send(&i, sizeof(int), Datatype::byte(), 1, 3);
+            }
+            const int done = 777;
+            c.send(&done, sizeof(int), Datatype::byte(), 1, 4);
+        } else {
+            int done = -1;
+            c.recv(&done, sizeof(int), Datatype::byte(), 0, 4);
+            EXPECT_EQ(done, 777);  // FIFO: the burst is fully queued before this
+            for (int i = 0; i < kBurst; ++i) {
+                int v = -1;
+                c.recv(&v, sizeof(int), Datatype::byte(), 0, 3);
+                EXPECT_EQ(v, i) << "burst replay out of order";
+            }
+        }
+        overflow += c.counters().rt_lane_overflow_deliveries;
+    });
+    EXPECT_GT(overflow.load(), 0u) << "a 64-message burst must spill the 8-slot ring";
+}
+
+// Mixed-size same-tag streams across the eager/rendezvous split, both with
+// receives pre-posted (rendezvous-eligible, gated on the lane being fully
+// consumed) and posted late (everything degrades to the stash path). A
+// large message must never overtake the small ones sent before it.
+TEST_P(TransportMatrix, MixedProtocolStreamKeepsFifo) {
+    constexpr std::size_t kSizes[] = {16, 1024, 64 * 1024, 200 * 1024};
+    constexpr int kReps = 2;
+    constexpr int kMsgs = static_cast<int>(std::size(kSizes)) * kReps;
+    World w(4);
+    install(w);
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const int n = c.size();
+        const int to = (c.rank() + 1) % n;
+        const int from = (c.rank() + n - 1) % n;
+        std::vector<std::vector<std::uint8_t>> outs, ins;
+        for (int m = 0; m < kMsgs; ++m) {
+            const std::size_t sz = kSizes[static_cast<std::size_t>(m) % std::size(kSizes)];
+            outs.emplace_back(sz, static_cast<std::uint8_t>((c.rank() * 31 + m) & 0xff));
+            ins.emplace_back(sz, 0);
+        }
+        for (int posted_first = 0; posted_first < 2; ++posted_first) {
+            for (auto& buf : ins) std::fill(buf.begin(), buf.end(), 0);
+            std::vector<Request> recvs;
+            if (posted_first) {
+                for (int m = 0; m < kMsgs; ++m) {
+                    auto& buf = ins[static_cast<std::size_t>(m)];
+                    recvs.push_back(
+                        c.irecv(buf.data(), buf.size(), Datatype::byte(), from, 21));
+                }
+                c.barrier();
+            }
+            for (int m = 0; m < kMsgs; ++m) {
+                auto& buf = outs[static_cast<std::size_t>(m)];
+                c.send(buf.data(), buf.size(), Datatype::byte(), to, 21);
+            }
+            if (!posted_first) {
+                c.barrier();  // all sends buffered before any receive posts
+                for (int m = 0; m < kMsgs; ++m) {
+                    auto& buf = ins[static_cast<std::size_t>(m)];
+                    recvs.push_back(
+                        c.irecv(buf.data(), buf.size(), Datatype::byte(), from, 21));
+                }
+            }
+            c.waitall(recvs);
+            for (int m = 0; m < kMsgs; ++m) {
+                const auto expect = static_cast<std::uint8_t>((from * 31 + m) & 0xff);
+                const auto& buf = ins[static_cast<std::size_t>(m)];
+                EXPECT_EQ(buf.front(), expect) << "msg " << m << " posted_first=" << posted_first;
+                EXPECT_EQ(buf.back(), expect) << "msg " << m << " posted_first=" << posted_first;
+            }
+            c.barrier();
+        }
+    });
+}
+
+// probe/iprobe against the receiver-private stashes: a blocking wildcard
+// probe must surface an unexpected message it was never going to consume,
+// and iprobe must report it without disturbing the eventual receive.
+TEST_P(TransportMatrix, ProbeSeesStashedTraffic) {
+    World w(3);
+    install(w);
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        if (c.rank() == 0) {
+            const long v = 424242;
+            c.send(&v, sizeof(long), Datatype::byte(), 2, 9);
+        } else if (c.rank() == 2) {
+            rt::ProbeStatus st = c.probe(rt::kAnySource, rt::kAnyTag);
+            EXPECT_TRUE(st.found);
+            EXPECT_EQ(st.source, 0);
+            EXPECT_EQ(st.tag, 9);
+            EXPECT_EQ(st.bytes, sizeof(long));
+            rt::ProbeStatus again = c.iprobe(0, 9);
+            EXPECT_TRUE(again.found);
+            long v = 0;
+            c.recv(&v, sizeof(long), Datatype::byte(), 0, 9);
+            EXPECT_EQ(v, 424242);
+            EXPECT_FALSE(c.iprobe(rt::kAnySource, rt::kAnyTag).found);
+        }
+        c.barrier();
+    });
+}
+
+}  // namespace
