@@ -22,6 +22,7 @@ double run(std::size_t n, dt::EngineKind kind, std::size_t chunk, int iters) {
         c.set_engine(kind);
         dt::EngineConfig cfg;
         cfg.pipeline_chunk = chunk;
+        cfg.enable_plan_fastpath = false;  // the ablation targets the cursor engine
         c.set_engine_config(cfg);
         auto matrix = benchutil::transpose_type(n);
         if (c.rank() == 0) {

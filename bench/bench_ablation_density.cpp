@@ -32,6 +32,9 @@ double run(std::size_t nblocks, std::size_t block_doubles, double threshold, int
         c.set_engine(dt::EngineKind::DualContext);
         dt::EngineConfig cfg;
         cfg.density_threshold = threshold;
+        // The gapped layout compiles to the Strided plan kernel; keep the
+        // fastpath off so the density decision under ablation still runs.
+        cfg.enable_plan_fastpath = false;
         c.set_engine_config(cfg);
         auto t = gapped_type(nblocks, block_doubles);
         const std::size_t total = nblocks * block_doubles;

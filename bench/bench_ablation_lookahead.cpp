@@ -28,6 +28,7 @@ Result run(std::size_t n, std::size_t window, int iters) {
         c.set_engine(dt::EngineKind::DualContext);
         dt::EngineConfig cfg;
         cfg.lookahead_blocks = window;
+        cfg.enable_plan_fastpath = false;  // the ablation targets the cursor engine
         c.set_engine_config(cfg);
         auto matrix = benchutil::transpose_type(n);
         if (c.rank() == 0) {

@@ -7,6 +7,12 @@
 // the dual-context engine is MVAPICH2-New. Times are real wall-clock of
 // this host's engines — the shape, not the absolute values, is the
 // reproduction target.
+//
+// Both paper columns run with the compiled-plan fastpath off so the
+// cursor engines under measurement actually execute (the transpose type
+// compiles to the BlockedStrided plan kernel, which would bypass them).
+// A third column shows the shipping configuration: the compiled plan
+// with its per-length SIMD kernel pair.
 #include <numeric>
 #include <vector>
 
@@ -18,11 +24,15 @@ using benchutil::Table;
 
 namespace {
 
-double transpose_latency_ms(std::size_t n, dt::EngineKind kind, int iters) {
+double transpose_latency_ms(std::size_t n, dt::EngineKind kind, int iters,
+                            bool plan_fastpath) {
     rt::World world(2);
     double total_ms = 0.0;
     world.run([&](rt::Comm& c) {
         c.set_engine(kind);
+        dt::EngineConfig cfg;
+        cfg.enable_plan_fastpath = plan_fastpath;
+        c.set_engine_config(cfg);
         auto matrix = benchutil::transpose_type(n);
         if (c.rank() == 0) {
             std::vector<double> m(n * n * 3);
@@ -53,17 +63,25 @@ int main() {
     std::printf("== Figure 12: matrix transpose benchmark ==\n");
     std::printf("sender: column-major derived datatype; receiver: row-major contiguous\n\n");
 
-    Table t({"Matrix size", "MVAPICH2-0.9.5 (ms)", "MVAPICH2-New (ms)", "Improvement"});
+    Table t({"Matrix size", "MVAPICH2-0.9.5 (ms)", "MVAPICH2-New (ms)", "Improvement",
+             "Compiled SIMD plan (ms)"});
     for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
         const int iters = n >= 512 ? 2 : 5;
-        const double base = transpose_latency_ms(n, dt::EngineKind::SingleContext, iters);
-        const double opt = transpose_latency_ms(n, dt::EngineKind::DualContext, iters);
+        const double base =
+            transpose_latency_ms(n, dt::EngineKind::SingleContext, iters, false);
+        const double opt =
+            transpose_latency_ms(n, dt::EngineKind::DualContext, iters, false);
+        const double plan =
+            transpose_latency_ms(n, dt::EngineKind::DualContext, iters, true);
         t.add_row({std::to_string(n) + "x" + std::to_string(n), benchutil::fmt(base),
                    benchutil::fmt(opt),
-                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt))});
+                   benchutil::fmt_pct(benchutil::improvement_pct(base, opt)),
+                   benchutil::fmt(plan)});
     }
     t.print();
     std::printf("\npaper shape: baseline grows superlinearly with matrix size; the\n"
-                "dual-context engine removes the quadratic re-search (>85%% at 1024x1024).\n");
+                "dual-context engine removes the quadratic re-search (>85%% at 1024x1024).\n"
+                "The compiled BlockedStrided plan (shipping default) removes the cursor\n"
+                "walk entirely on top of that.\n");
     return 0;
 }

@@ -22,6 +22,11 @@ Breakdown measure(std::size_t n, dt::EngineKind kind) {
     Breakdown out;
     world.run([&](rt::Comm& c) {
         c.set_engine(kind);
+        // The breakdown measures the cursor engines' Comm/Pack/Search
+        // phases; the compiled-plan fastpath would skip them entirely.
+        dt::EngineConfig cfg;
+        cfg.enable_plan_fastpath = false;
+        c.set_engine_config(cfg);
         auto matrix = benchutil::transpose_type(n);
         if (c.rank() == 0) {
             std::vector<double> m(n * n * 3);

@@ -1,7 +1,10 @@
 // Micro-benchmark (google-benchmark): raw pack-engine throughput on dense
 // and sparse layouts, single-context vs dual-context, plus the reference
-// packer as a lower bound. The argument is the matrix edge of the
-// transpose type (sparse 24-byte blocks) or the double count (dense).
+// packer as a lower bound and the compiled SIMD plan as the shipping
+// fastpath. The cursor-engine fixtures force the plan fastpath off so
+// they measure the cursor walk they are named for. The argument is the
+// matrix edge of the transpose type (sparse 24-byte blocks) or the
+// double count (dense).
 #include <benchmark/benchmark.h>
 
 #include <numeric>
@@ -10,6 +13,7 @@
 #include "bench/common.hpp"
 #include "datatype/engine.hpp"
 #include "datatype/pack.hpp"
+#include "datatype/plan.hpp"
 
 namespace {
 
@@ -20,13 +24,19 @@ void drain(PackEngine& e) {
     while (e.next_chunk(chunk)) benchmark::DoNotOptimize(chunk.bytes);
 }
 
+EngineConfig cursor_config() {
+    EngineConfig cfg;
+    cfg.enable_plan_fastpath = false;
+    return cfg;
+}
+
 void BM_SparsePackSingleContext(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     auto t = benchutil::transpose_type(n);
     std::vector<double> m(n * n * 3);
     std::iota(m.begin(), m.end(), 0.0);
     for (auto _ : state) {
-        SingleContextEngine e(m.data(), t, 1);
+        SingleContextEngine e(m.data(), t, 1, cursor_config());
         drain(e);
     }
     state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -40,13 +50,30 @@ void BM_SparsePackDualContext(benchmark::State& state) {
     std::vector<double> m(n * n * 3);
     std::iota(m.begin(), m.end(), 0.0);
     for (auto _ : state) {
-        DualContextEngine e(m.data(), t, 1);
+        DualContextEngine e(m.data(), t, 1, cursor_config());
         drain(e);
     }
     state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(n * n * 24));
 }
 BENCHMARK(BM_SparsePackDualContext)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_SparsePackCompiledPlan(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    auto t = benchutil::transpose_type(n);
+    std::vector<double> m(n * n * 3);
+    std::iota(m.begin(), m.end(), 0.0);
+    std::vector<std::byte> out(n * n * 24);
+    const PackPlan plan = PackPlan::compile(t.flat());  // BlockedStrided + SIMD pair
+    for (auto _ : state) {
+        plan.pack(t.flat(), reinterpret_cast<const std::byte*>(m.data()), 1,
+                  std::span<std::byte>(out));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * n * 24));
+}
+BENCHMARK(BM_SparsePackCompiledPlan)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_SparsePackReference(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

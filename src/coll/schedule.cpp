@@ -655,8 +655,9 @@ void CollRequest::run_local(std::size_t i) {
                 // receive layout — no per-call scratch.
                 PhaseScope scope(step_timers_, Phase::Pack);
                 auto& buf = staging_[static_cast<std::size_t>(op.slot)];
-                dt::pack_into(src, op.type, op.count, std::span<std::byte>(buf));
-                dt::unpack_from(dst, op.btype, op.bcount, std::span<const std::byte>(buf));
+                dt::pack_into(src, op.type, op.count, std::span<std::byte>(buf), &step_);
+                dt::unpack_from(dst, op.btype, op.bcount, std::span<const std::byte>(buf),
+                                &step_);
             } else {
                 detail::copy_typed(src, op.count, op.type, dst, op.bcount, op.btype);
             }
@@ -671,7 +672,7 @@ void CollRequest::run_local(std::size_t i) {
                 // writes the persistent buffer directly — no engine, no
                 // scratch.
                 PhaseScope scope(step_timers_, Phase::Pack);
-                plan.pack(op.type.flat(), src, op.count, std::span<std::byte>(buf));
+                plan.pack(op.type.flat(), src, op.count, std::span<std::byte>(buf), &step_);
                 ++step_.plan_hits;
                 step_.bytes_packed += op.bytes;
                 break;
@@ -709,7 +710,7 @@ void CollRequest::run_local(std::size_t i) {
             PhaseScope scope(step_timers_, Phase::Pack);
             auto& buf = staging_[static_cast<std::size_t>(op.slot)];
             dt::unpack_from(resolve(op.a), op.type, op.count,
-                            std::span<const std::byte>(buf));
+                            std::span<const std::byte>(buf), &step_);
             break;
         }
         case ScheduleOpKind::Reduce: {

@@ -149,6 +149,16 @@ struct StatCounters {
     std::uint64_t coll_rounds_executed = 0;      ///< schedule rounds fully retired
     std::uint64_t coll_overlap_progress_calls = 0;  ///< CollRequest::test() progress pokes
 
+    // Datatype kernel-dispatch counters (datatype/plan.cpp + simd.cpp).
+    // Every PackPlan::pack_range/unpack_range call is tallied per compiled
+    // kernel class (indexed by PackKernel: Contiguous=0, Strided=1,
+    // BlockedStrided=2, Irregular=3); the dt_simd_* byte counts cover only
+    // bytes moved through vector-register kernels, so benches can attest
+    // the SIMD path actually ran rather than the scalar floor.
+    std::uint64_t dt_simd_pack_bytes = 0;    ///< pack bytes moved by vector kernels
+    std::uint64_t dt_simd_unpack_bytes = 0;  ///< unpack bytes moved by vector kernels
+    std::array<std::uint64_t, 4> dt_kernel_dispatch{};  ///< calls per PackKernel class
+
     void reset() { *this = StatCounters{}; }
 
     StatCounters& operator+=(const StatCounters& o) {
@@ -188,6 +198,11 @@ struct StatCounters {
         coll_schedule_cache_hits += o.coll_schedule_cache_hits;
         coll_rounds_executed += o.coll_rounds_executed;
         coll_overlap_progress_calls += o.coll_overlap_progress_calls;
+        dt_simd_pack_bytes += o.dt_simd_pack_bytes;
+        dt_simd_unpack_bytes += o.dt_simd_unpack_bytes;
+        for (std::size_t i = 0; i < dt_kernel_dispatch.size(); ++i) {
+            dt_kernel_dispatch[i] += o.dt_kernel_dispatch[i];
+        }
         return *this;
     }
 };

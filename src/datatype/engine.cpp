@@ -50,11 +50,11 @@ bool PackEngine::plan_chunk(ChunkView& out) {
         return true;
     }
 
-    // Strided: the dense/sparse decision is a property of the (fixed)
-    // block length, not of any particular chunk. Dense strided chunks
-    // still go through the engine's iov walk (the transport reads the
-    // regions either way); sparse ones dispatch to the fixed-size-memcpy
-    // strided kernel with O(1) positioning — no cursor, no look-ahead.
+    // Strided / BlockedStrided: the dense/sparse decision is a property of
+    // the (fixed) block length, not of any particular chunk. Dense strided
+    // chunks still go through the engine's iov walk (the transport reads
+    // the regions either way); sparse ones dispatch to the plan's frozen
+    // SIMD gather kernel with O(1) positioning — no cursor, no look-ahead.
     const std::size_t block_len = plan_->block_length();
     if (static_cast<double>(block_len) >= config_.density_threshold) return false;
 
@@ -63,7 +63,7 @@ bool PackEngine::plan_chunk(ChunkView& out) {
     {
         PhaseScope scope(timers_, Phase::Pack);
         plan_->pack_range(type_.flat(), base_, count_, bytes_done_,
-                          std::span<std::byte>(scratch_.data(), budget));
+                          std::span<std::byte>(scratch_.data(), budget), &counters_);
     }
     counters_.bytes_packed += budget;
     counters_.blocks_packed +=

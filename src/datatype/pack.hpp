@@ -7,9 +7,10 @@
 // they deliberately never dispatch through a PackPlan.
 //
 // The whole-message entry points pack_all/unpack_all (used by the
-// collectives' typed self-copies and the runtime's receive side) fast-path
-// through the type's compiled plan when its kernel is specialized, falling
-// back to the cursor walk for irregular layouts.
+// collectives' typed self-copies and the runtime's receive side) dispatch
+// through the type's compiled plan unconditionally — every kernel class,
+// including Irregular, is plan-driven (plan.hpp); only the cursor walks
+// here stay plan-free so tests have an independent reference.
 #pragma once
 
 #include <cstddef>
@@ -58,31 +59,17 @@ inline std::size_t unpack_bytes(std::byte* base, TypeCursor& cur, std::span<cons
 /// compiled plan kernel when one applies. Persistent communication plans
 /// use this to fill their reusable pack buffers without allocating.
 inline void pack_into(const void* base, const Datatype& type, std::size_t count,
-                      std::span<std::byte> out) {
+                      std::span<std::byte> out, StatCounters* stats = nullptr) {
     NNCOMM_CHECK_MSG(out.size() == type.size() * count, "pack_into: size mismatch");
-    const PackPlan& plan = type.plan();
-    if (plan.specialized()) {
-        plan.pack(type.flat(), static_cast<const std::byte*>(base), count, out);
-        return;
-    }
-    TypeCursor cur(&type.flat(), count);
-    const std::size_t n = pack_bytes(static_cast<const std::byte*>(base), cur, out);
-    NNCOMM_CHECK(n == out.size());
+    type.plan().pack(type.flat(), static_cast<const std::byte*>(base), count, out, stats);
 }
 
 /// Unpacks a full packed stream into `count` instances of `type` at `base`,
-/// dispatching through the compiled plan kernel when one applies.
+/// dispatching through the compiled plan kernel.
 inline void unpack_from(void* base, const Datatype& type, std::size_t count,
-                        std::span<const std::byte> in) {
+                        std::span<const std::byte> in, StatCounters* stats = nullptr) {
     NNCOMM_CHECK_MSG(in.size() == type.size() * count, "unpack_from: size mismatch");
-    const PackPlan& plan = type.plan();
-    if (plan.specialized()) {
-        plan.unpack(type.flat(), static_cast<std::byte*>(base), count, in);
-        return;
-    }
-    TypeCursor cur(&type.flat(), count);
-    const std::size_t n = unpack_bytes(static_cast<std::byte*>(base), cur, in);
-    NNCOMM_CHECK(n == in.size());
+    type.plan().unpack(type.flat(), static_cast<std::byte*>(base), count, in, stats);
 }
 
 /// Packs `count` instances of `type` at `base` into a fresh vector.

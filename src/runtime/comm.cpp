@@ -852,12 +852,15 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
         PhaseScope scope(timers_, Phase::Comm);
         std::memcpy(rbase, buf, total);
     } else if (!sdense && rdense) {
-        // Gather: scattered sender layout into flat destination memory.
+        // Gather: scattered sender layout into flat destination memory. All
+        // kernel classes — Irregular included — are plan-driven now, so the
+        // engine path survives only behind the fastpath escape hatch.
         const dt::PackPlan& plan = type.plan();
-        if (engine_config_.enable_plan_fastpath && plan.specialized()) {
+        if (engine_config_.enable_plan_fastpath) {
             PhaseScope scope(timers_, Phase::Pack);
             ++counters_.plan_hits;
-            plan.pack(sflat, static_cast<const std::byte*>(buf), count, {rbase, total});
+            plan.pack(sflat, static_cast<const std::byte*>(buf), count, {rbase, total},
+                      &counters_);
         } else {
             auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
             std::size_t off = 0;
@@ -883,9 +886,9 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
         const std::span<const std::byte> src(static_cast<const std::byte*>(buf), total);
         const dt::PackPlan& rplan = r->type.plan();
         PhaseScope scope(timers_, Phase::Pack);
-        if (rplan.specialized()) {
+        if (engine_config_.enable_plan_fastpath) {
             ++counters_.plan_hits;
-            rplan.unpack(rflat, rbase, r->count, src);
+            rplan.unpack(rflat, rbase, r->count, src, &counters_);
         } else {
             dt::TypeCursor cur(&rflat, r->count);
             const std::size_t n = dt::unpack_bytes(rbase, cur, src);
@@ -898,14 +901,14 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
         // over the payload with no staging buffer.
         auto engine = dt::make_engine(engine_kind_, buf, type, count, engine_config_);
         const dt::PackPlan& rplan = r->type.plan();
-        const bool rspec = rplan.specialized();
+        const bool rspec = engine_config_.enable_plan_fastpath;
         if (rspec) ++counters_.plan_hits;
         dt::TypeCursor cur(&rflat, r->count);
         std::uint64_t pos = 0;
         auto scatter = [&](const std::byte* p, std::size_t len) {
             const std::span<const std::byte> piece(p, len);
             if (rspec) {
-                rplan.unpack_range(rflat, rbase, r->count, pos, piece);
+                rplan.unpack_range(rflat, rbase, r->count, pos, piece, &counters_);
             } else {
                 const std::size_t n = dt::unpack_bytes(rbase, cur, piece);
                 NNCOMM_CHECK(n == len);
@@ -1161,15 +1164,16 @@ RecvStatus Comm::finish_recv(RequestState& req) {
                 std::memcpy(req.buf, req.env.payload.data(), req.env.payload.size());
             }
         } else {
-            // Receive-side scatter: specialized plan kernels when the layout
-            // compiles to one, generic cursor walk otherwise.
+            // Receive-side scatter through the compiled plan kernel (every
+            // class); cursor walk only behind the fastpath escape hatch.
             PhaseScope scope(timers_, Phase::Pack);
             const std::span<const std::byte> payload(req.env.payload.data(),
                                                      req.env.payload.size());
             const dt::PackPlan& plan = req.type.plan();
-            if (plan.specialized()) {
+            if (engine_config_.enable_plan_fastpath) {
                 ++counters_.plan_hits;
-                plan.unpack(flat, static_cast<std::byte*>(req.buf), req.count, payload);
+                plan.unpack(flat, static_cast<std::byte*>(req.buf), req.count, payload,
+                            &counters_);
             } else {
                 dt::TypeCursor cur(&flat, req.count);
                 const std::size_t n =

@@ -112,12 +112,17 @@ TEST(Engines, DensityThresholdFlipsDecision) {
     EXPECT_EQ(e->counters().sparse_chunks, 0u);
 }
 
+// The search/look-ahead behaviour tests below measure the paper's engine
+// machinery itself, so they disable the plan fastpath: the transpose type
+// compiles to the BlockedStrided plan kernel, which would bypass the
+// cursor machinery entirely and make every assertion vacuous.
 TEST(Engines, BaselineSearchesOnEverySparseChunk) {
     const std::size_t n = 64;
     auto m = matrix_data(n);
     auto t = transpose_type(n);
     EngineConfig cfg;
     cfg.pipeline_chunk = 1024;
+    cfg.enable_plan_fastpath = false;
     SingleContextEngine e(m.data(), t, 1, cfg);
     drain(e);
     EXPECT_EQ(e.counters().search_events, e.counters().sparse_chunks);
@@ -130,6 +135,7 @@ TEST(Engines, DualContextNeverSearches) {
     auto t = transpose_type(n);
     EngineConfig cfg;
     cfg.pipeline_chunk = 1024;
+    cfg.enable_plan_fastpath = false;
     DualContextEngine e(m.data(), t, 1, cfg);
     drain(e);
     EXPECT_EQ(e.counters().search_events, 0u);
@@ -144,6 +150,7 @@ TEST(Engines, BaselineSearchCostGrowsQuadratically) {
     // conservative check of > 4x growth distinguishes it from linear.
     EngineConfig cfg;
     cfg.pipeline_chunk = 2048;
+    cfg.enable_plan_fastpath = false;
     std::uint64_t prev = 0;
     for (std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
         auto m = matrix_data(n);
@@ -163,6 +170,7 @@ TEST(Engines, DualContextLookaheadIsLinear) {
     // the window), never faster.
     EngineConfig cfg;
     cfg.pipeline_chunk = 2048;
+    cfg.enable_plan_fastpath = false;
     std::uint64_t prev = 0;
     for (std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{128}}) {
         auto m = matrix_data(n);
@@ -183,6 +191,7 @@ TEST(Engines, LookaheadWindowBoundsDualContextWork) {
     auto t = transpose_type(n);
     EngineConfig cfg;
     cfg.lookahead_blocks = 15;
+    cfg.enable_plan_fastpath = false;
     DualContextEngine e(m.data(), t, 1, cfg);
     ChunkView chunk;
     std::uint64_t events = 0;

@@ -54,11 +54,61 @@ TEST(PlanClassification, KernelClasses) {
     EXPECT_EQ(irr.plan().kernel(), PackKernel::Irregular);
     EXPECT_FALSE(irr.plan().specialized());
 
-    // Mixed block lengths: also irregular.
+    // Uniform blocks with a shorter trailing block (the odd-count vector
+    // shape) stay Strided: the vector run covers the uniform prefix and the
+    // tail is copied exactly.
     std::vector<std::size_t> mlens{2, 1};
     std::vector<std::ptrdiff_t> mdispls{0, 32};
     auto mixed = Datatype::hindexed(mlens, mdispls, Datatype::float64());
-    EXPECT_EQ(mixed.plan().kernel(), PackKernel::Irregular);
+    EXPECT_EQ(mixed.plan().kernel(), PackKernel::Strided);
+    EXPECT_EQ(mixed.plan().block_length(), 16u);
+    EXPECT_EQ(mixed.plan().tail_length(), 8u);
+    EXPECT_EQ(mixed.plan().block_stride(), 32);
+
+    // A trailing block *longer* than the uniform prefix has no vector-run
+    // decomposition: irregular.
+    std::vector<std::size_t> llens{1, 2};
+    std::vector<std::ptrdiff_t> ldispls{0, 32};
+    auto longtail = Datatype::hindexed(llens, ldispls, Datatype::float64());
+    EXPECT_EQ(longtail.plan().kernel(), PackKernel::Irregular);
+
+    // 2-D nested pattern (the transpose-column / DMDA face shape): uniform
+    // inner runs at one stride repeated at a constant outer stride.
+    auto elem = Datatype::contiguous(3, Datatype::float64());
+    auto col = Datatype::vector(8, 1, 8, elem);
+    auto col_resized = Datatype::resized(col, 0, elem.extent());
+    auto transpose = Datatype::contiguous(8, col_resized);
+    EXPECT_EQ(transpose.plan().kernel(), PackKernel::BlockedStrided);
+    EXPECT_TRUE(transpose.plan().specialized());
+    EXPECT_EQ(transpose.plan().block_length(), 24u);
+    EXPECT_EQ(transpose.plan().inner_blocks(), 8u);
+    EXPECT_EQ(transpose.plan().block_stride(), 8 * 24);
+    EXPECT_EQ(transpose.plan().outer_stride(), 24);
+}
+
+TEST(PlanClassification, TailShapeHashesDistinctFromUniform) {
+    // The trailing-short-block layout must not alias the uniform layout in
+    // the plan cache: same leading block length and stride, different
+    // structural signature, different compiled plan.
+    auto& cache = PlanCache::instance();
+    cache.reset();
+
+    std::vector<std::size_t> ulens{2, 2};
+    std::vector<std::ptrdiff_t> udispls{0, 32};
+    auto uniform = Datatype::hindexed(ulens, udispls, Datatype::float64());
+
+    std::vector<std::size_t> tlens{2, 1};
+    std::vector<std::ptrdiff_t> tdispls{0, 32};
+    auto tail = Datatype::hindexed(tlens, tdispls, Datatype::float64());
+
+    EXPECT_EQ(uniform.plan().kernel(), PackKernel::Strided);
+    EXPECT_EQ(tail.plan().kernel(), PackKernel::Strided);
+    EXPECT_NE(uniform.plan().signature(), tail.plan().signature());
+    EXPECT_NE(&uniform.plan(), &tail.plan());
+
+    auto st = cache.stats();
+    EXPECT_EQ(st.misses, 2u);  // two distinct compiles, no false sharing
+    EXPECT_EQ(st.hits, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -189,10 +239,16 @@ TEST(PersistentScatter, IrregularSteadyStateReusesEngines) {
             src.data()[i] = static_cast<double>(src.range().begin + i);
         }
 
+        // Aperiodic hash jitter on a base stride of 3: no constant stride,
+        // and no periodic inner run either — a periodic jitter would
+        // classify as the BlockedStrided plan kernel and need no engine.
+        auto jitter = [](Index j) {
+            return static_cast<Index>((static_cast<std::uint64_t>(j) * 2654435761ULL >> 7) % 2);
+        };
         std::vector<Index> from, to;
         for (int r = 0; r < kRanks; ++r) {
             for (Index j = 0; j < kN; ++j) {
-                from.push_back(r * 3 * kN + 3 * j + (j & 1));  // no constant stride
+                from.push_back(r * 3 * kN + 3 * j + jitter(j));
                 to.push_back(((r + 1) % kRanks) * kN + j);
             }
         }
@@ -212,7 +268,7 @@ TEST(PersistentScatter, IrregularSteadyStateReusesEngines) {
 
         const int prev = (comm.rank() + kRanks - 1) % kRanks;
         for (Index j = 0; j < kN; ++j) {
-            const Index off = prev * 3 * kN + 3 * j + (j & 1);
+            const Index off = prev * 3 * kN + 3 * j + jitter(j);
             EXPECT_DOUBLE_EQ(dst.data()[j], static_cast<double>(off));
         }
     });

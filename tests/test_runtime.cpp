@@ -257,17 +257,21 @@ TEST(Runtime, BaselineEngineAccumulatesSearchCounters) {
         nncomm::dt::EngineConfig cfg;
         cfg.pipeline_chunk = 512;
         c.set_engine_config(cfg);
-        // Irregular gaps (no constant stride): the layout cannot compile to
-        // a specialized pack plan, so the baseline engine's re-search path
-        // is actually exercised.
+        // Aperiodic gaps (hash jitter on a base stride of 3): neither a
+        // constant stride nor a periodic inner run, so the layout compiles
+        // to the Irregular plan class and the baseline engine's re-search
+        // path is actually exercised. (A periodic jitter like 2i + (i&1)
+        // would classify as the BlockedStrided plan kernel and bypass it.)
         std::vector<std::size_t> lens(n * n, 1);
         std::vector<std::ptrdiff_t> displs(n * n);
         for (std::size_t i = 0; i < n * n; ++i) {
-            displs[i] = static_cast<std::ptrdiff_t>(2 * i + (i & 1)) * 8;
+            const auto jit = static_cast<std::ptrdiff_t>(
+                (static_cast<std::uint64_t>(i) * 2654435761ULL >> 7) % 2);
+            displs[i] = (static_cast<std::ptrdiff_t>(3 * i) + jit) * 8;
         }
         auto col = Datatype::hindexed(lens, displs, Datatype::float64());
         if (c.rank() == 0) {
-            std::vector<double> m(2 * n * n + 2);
+            std::vector<double> m(3 * n * n + 2);
             c.send(m.data(), 1, col, 1, 0);
             EXPECT_GT(c.counters().search_blocks_visited, 0u);
             EXPECT_GT(c.timers().ns(nncomm::Phase::Search), 0u);
