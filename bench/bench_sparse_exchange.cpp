@@ -1,0 +1,245 @@
+// Sparse dynamic exchange setup cost: NBX consensus vs dense discovery.
+//
+// Plan construction for a sparse communication pattern (VecScatter ghost
+// maps, off-process matrix assembly) needs every rank to learn who talks to
+// it. The dense approach publishes each rank's full per-destination count
+// vector — O(nprocs) bytes per rank no matter how sparse the pattern is.
+// The NBX approach (rt::sparse_exchange) sends only the real edges and
+// detects termination with acks plus a nonblocking dissemination barrier —
+// O(degree + log nprocs).
+//
+// Two measurements:
+//   1. Real threaded runtime, 128-1024 ranks: wall time of one discovery
+//      round, sparse_exchange vs allgatherv'd dense count vectors followed
+//      by the same point-to-point list exchange.
+//   2. Netsim, 128-10240 simulated ranks: predicted makespan of the same
+//      two programs (netsim/programs.cpp mirrors the NBX op sequence).
+//
+// The gate asserts the paper's asymptotic claim on the simulated sweep:
+// sparse setup must beat dense at every size >= 512 ranks ("pass" in
+// BENCH_sparse_exchange.json; exit 1 otherwise).
+//
+// `--smoke` runs only the simulated sweep at {512, 10240} ranks with the
+// crossover gate, writes no JSON, and is fast enough for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "coll/collectives.hpp"
+#include "core/rng.hpp"
+#include "netsim/programs.hpp"
+#include "runtime/sparse.hpp"
+
+using namespace nncomm;
+
+namespace {
+
+constexpr int kDegree = 8;            // out-neighbors per rank
+constexpr std::size_t kListLen = 64;  // indices requested per edge
+constexpr std::uint64_t kListBytes = kListLen * sizeof(std::uint64_t);
+constexpr std::uint64_t kSeed = 0x5eed;
+
+/// The per-rank out-edges of the shared random pattern, as (dest, list).
+std::vector<std::pair<int, std::vector<std::uint64_t>>> edges_of(
+    const sim::SparseNeighborhood& nbhd, int rank) {
+    std::vector<std::pair<int, std::vector<std::uint64_t>>> out;
+    for (const auto& [dest, bytes] : nbhd[static_cast<std::size_t>(rank)]) {
+        std::vector<std::uint64_t> list(static_cast<std::size_t>(bytes) / 8);
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            list[i] = static_cast<std::uint64_t>(rank) * 1000003u + i;
+        }
+        out.emplace_back(dest, std::move(list));
+    }
+    return out;
+}
+
+struct RealRun {
+    double sparse_ms = 0.0;
+    double dense_ms = 0.0;
+};
+
+/// One real-runtime discovery round per protocol, timed end to end
+/// (barrier-bracketed, max over ranks by construction). kReps rounds, best
+/// round kept: plan construction is a one-shot cost, so the minimum is the
+/// fair steady-state estimate once thread wakeup jitter is excluded.
+RealRun run_real(int n) {
+    constexpr int kReps = 3;
+    const sim::SparseNeighborhood nbhd =
+        sim::make_random_neighborhood(n, kDegree, kListBytes, kSeed);
+    RealRun out;
+    rt::World w(n);
+    w.run([&](rt::Comm& c) {
+        const auto edges = edges_of(nbhd, c.rank());
+        const auto un = static_cast<std::size_t>(n);
+
+        // Who sends to me (shared knowledge for the dense receive loop and
+        // for validating both protocols discovered the same pattern).
+        std::vector<int> in_neighbors;
+        for (int r = 0; r < n; ++r) {
+            for (const auto& [dest, bytes] : nbhd[static_cast<std::size_t>(r)]) {
+                if (dest == c.rank() && r != c.rank()) in_neighbors.push_back(r);
+            }
+        }
+
+        double best_sparse = 0.0, best_dense = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            // -- NBX sparse discovery --------------------------------------
+            c.barrier();
+            benchutil::Stopwatch sw1;
+            const auto got = rt::sparse_exchange_t<std::uint64_t>(c, edges);
+            c.barrier();
+            const double sparse_ms = sw1.ms();
+            NNCOMM_CHECK_MSG(got.size() == in_neighbors.size(),
+                             "sparse discovery found the wrong in-neighborhood");
+
+            // -- dense discovery: allgatherv of count vectors --------------
+            c.barrier();
+            benchutil::Stopwatch sw2;
+            std::vector<std::uint64_t> my_counts(un, 0);
+            for (const auto& [dest, list] : edges) {
+                my_counts[static_cast<std::size_t>(dest)] = list.size() * 8;
+            }
+            std::vector<std::uint64_t> all_counts(un * un, 0);
+            std::vector<std::size_t> counts(un, un * 8);
+            std::vector<std::size_t> displs(un);
+            for (std::size_t r = 0; r < un; ++r) displs[r] = r * un * 8;
+            coll::allgatherv(c, my_counts.data(), un * 8, dt::Datatype::byte(),
+                             all_counts.data(), counts, displs, dt::Datatype::byte());
+            // Pattern now globally known: post the discovered receives,
+            // fire the list sends, no acks, no barrier.
+            std::vector<rt::Request> rreqs;
+            std::vector<std::vector<std::uint64_t>> rbufs;
+            for (std::size_t r = 0; r < un; ++r) {
+                const std::uint64_t bytes =
+                    all_counts[r * un + static_cast<std::size_t>(c.rank())];
+                if (bytes == 0 || static_cast<int>(r) == c.rank()) continue;
+                rbufs.emplace_back(static_cast<std::size_t>(bytes) / 8);
+                rreqs.push_back(c.irecv(rbufs.back().data(), bytes, dt::Datatype::byte(),
+                                        static_cast<int>(r), 3));
+            }
+            std::vector<rt::Request> sreqs;
+            for (const auto& [dest, list] : edges) {
+                sreqs.push_back(c.isend(list.data(), list.size() * 8, dt::Datatype::byte(),
+                                        dest, 3));
+            }
+            c.waitall(rreqs);
+            c.waitall(sreqs);
+            c.barrier();
+            const double dense_ms = sw2.ms();
+            NNCOMM_CHECK_MSG(rbufs.size() == in_neighbors.size(),
+                             "dense discovery found the wrong in-neighborhood");
+
+            if (rep == 0 || sparse_ms < best_sparse) best_sparse = sparse_ms;
+            if (rep == 0 || dense_ms < best_dense) best_dense = dense_ms;
+        }
+        if (c.rank() == 0) {
+            out.sparse_ms = best_sparse;
+            out.dense_ms = best_dense;
+        }
+    });
+    return out;
+}
+
+struct SimRun {
+    double sparse_us = 0.0;
+    double dense_us = 0.0;
+};
+
+SimRun run_sim(int n) {
+    const sim::SparseNeighborhood nbhd =
+        sim::make_random_neighborhood(n, kDegree, kListBytes, kSeed);
+    const sim::ClusterConfig cluster = sim::make_uniform_cluster(n);
+    SimRun out;
+    {
+        sim::ProgramBuilder b(cluster);
+        b.add_sparse_exchange(nbhd);
+        out.sparse_us = sim::Simulator(cluster).run(b.programs()).makespan_us;
+    }
+    {
+        sim::ProgramBuilder b(cluster);
+        b.add_dense_discovery(nbhd);
+        out.dense_us = sim::Simulator(cluster).run(b.programs()).makespan_us;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    const std::vector<int> sim_sizes =
+        smoke ? std::vector<int>{512, 10240} : std::vector<int>{128, 512, 1024, 4096, 10240};
+    std::vector<SimRun> sim_runs;
+    bool pass = true;
+
+    std::printf("== Sparse dynamic exchange setup: NBX consensus vs dense discovery ==\n");
+    std::printf("degree %d, %zu-index request lists (%llu bytes per edge)\n\n", kDegree,
+                kListLen, static_cast<unsigned long long>(kListBytes));
+
+    benchutil::Table st({"Simulated ranks", "Sparse NBX (us)", "Dense (us)", "Dense/Sparse",
+                         "Gate (>=512)"});
+    for (int n : sim_sizes) {
+        const SimRun r = run_sim(n);
+        sim_runs.push_back(r);
+        const bool gated = n >= 512;
+        const bool ok = !gated || r.sparse_us < r.dense_us;
+        pass = pass && ok;
+        st.add_row({std::to_string(n), benchutil::fmt(r.sparse_us, 1),
+                    benchutil::fmt(r.dense_us, 1),
+                    benchutil::fmt(r.sparse_us > 0.0 ? r.dense_us / r.sparse_us : 0.0, 2),
+                    gated ? (ok ? "PASS" : "FAIL") : "-"});
+    }
+    st.print();
+
+    std::vector<RealRun> real_runs;
+    const std::vector<int> real_sizes = smoke ? std::vector<int>{} : std::vector<int>{128, 256, 512, 1024};
+    if (!smoke) {
+        std::printf("\n");
+        benchutil::Table rt_table(
+            {"Runtime ranks", "Sparse NBX (ms)", "Dense (ms)", "Dense/Sparse"});
+        for (int n : real_sizes) {
+            const RealRun r = run_real(n);
+            real_runs.push_back(r);
+            rt_table.add_row({std::to_string(n), benchutil::fmt(r.sparse_ms, 3),
+                              benchutil::fmt(r.dense_ms, 3),
+                              benchutil::fmt(r.sparse_ms > 0.0 ? r.dense_ms / r.sparse_ms : 0.0,
+                                             2)});
+        }
+        rt_table.print();
+    }
+
+    std::printf("\ncrossover gate (simulated, sparse < dense at every size >= 512): %s\n",
+                pass ? "PASS" : "FAIL");
+
+    if (!smoke) {
+        FILE* f = std::fopen("BENCH_sparse_exchange.json", "w");
+        if (f) {
+            std::fprintf(f, "{\n  \"bench\": \"sparse_exchange\",\n");
+            std::fprintf(f, "  \"degree\": %d,\n  \"list_bytes\": %llu,\n", kDegree,
+                         static_cast<unsigned long long>(kListBytes));
+            std::fprintf(f, "  \"simulated\": [\n");
+            for (std::size_t i = 0; i < sim_sizes.size(); ++i) {
+                std::fprintf(f,
+                             "    { \"ranks\": %d, \"sparse_us\": %.3f, \"dense_us\": %.3f }%s\n",
+                             sim_sizes[i], sim_runs[i].sparse_us, sim_runs[i].dense_us,
+                             i + 1 < sim_sizes.size() ? "," : "");
+            }
+            std::fprintf(f, "  ],\n  \"real_runtime\": [\n");
+            for (std::size_t i = 0; i < real_sizes.size(); ++i) {
+                std::fprintf(f,
+                             "    { \"ranks\": %d, \"sparse_ms\": %.4f, \"dense_ms\": %.4f }%s\n",
+                             real_sizes[i], real_runs[i].sparse_ms, real_runs[i].dense_ms,
+                             i + 1 < real_sizes.size() ? "," : "");
+            }
+            std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+            std::fclose(f);
+            std::printf("wrote BENCH_sparse_exchange.json\n");
+        }
+    }
+    return pass ? 0 : 1;
+}

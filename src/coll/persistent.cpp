@@ -74,6 +74,10 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             continue;
         }
         if (svol > 0) {
+            // Boundary contract shared with try_rendezvous / phase_protocol
+            // / netsim: rendezvous iff nonempty AND svol >= threshold. The
+            // svol > 0 guard above supplies the nonempty half; exactly-at-
+            // threshold volumes go rendezvous on every layer.
             sends.push_back({static_cast<int>(i), sendcounts[i], sdispls[i], sendtypes[i],
                              svol,
                              svol >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous

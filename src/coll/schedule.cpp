@@ -30,7 +30,12 @@ constexpr int kTagReduce = rt::kInternalTagBase + 1;
 // receives are preposted by the executor) and small latency-bound steps
 // stay eager without consulting the size heuristic per message.
 rt::Protocol phase_protocol(std::size_t bytes, std::size_t threshold) {
-    return bytes >= threshold ? rt::Protocol::Rendezvous : rt::Protocol::Eager;
+    // Shared boundary contract (runtime/comm.cpp try_rendezvous,
+    // coll/persistent.cpp, netsim/sim.cpp): rendezvous iff the message is
+    // nonempty and bytes >= threshold. Without the bytes > 0 guard a
+    // threshold of 0 would hand zero-byte steps a Rendezvous hint the
+    // runtime then has to walk back.
+    return (bytes > 0 && bytes >= threshold) ? rt::Protocol::Rendezvous : rt::Protocol::Eager;
 }
 
 std::ptrdiff_t block_offset(std::span<const std::size_t> displs, const dt::Datatype& elem,

@@ -149,6 +149,15 @@ struct StatCounters {
     std::uint64_t coll_rounds_executed = 0;      ///< schedule rounds fully retired
     std::uint64_t coll_overlap_progress_calls = 0;  ///< CollRequest::test() progress pokes
 
+    // Sparse dynamic data exchange counters (runtime/sparse.cpp). One NBX
+    // exchange per collective call; messages count only true remote
+    // payloads (self-delivery is a local copy and acks are zero-byte
+    // control traffic tallied separately).
+    std::uint64_t rt_sparse_exchanges = 0;   ///< sparse_exchange invocations completed
+    std::uint64_t rt_sparse_msgs_sent = 0;   ///< remote payload messages sent
+    std::uint64_t rt_sparse_msgs_recvd = 0;  ///< remote payload messages received
+    std::uint64_t rt_sparse_probe_polls = 0; ///< consensus-loop iprobe passes
+
     // Datatype kernel-dispatch counters (datatype/plan.cpp + simd.cpp).
     // Every PackPlan::pack_range/unpack_range call is tallied per compiled
     // kernel class (indexed by PackKernel: Contiguous=0, Strided=1,
@@ -194,6 +203,10 @@ struct StatCounters {
         if (o.rt_pool_resident_bytes > rt_pool_resident_bytes) {
             rt_pool_resident_bytes = o.rt_pool_resident_bytes;
         }
+        rt_sparse_exchanges += o.rt_sparse_exchanges;
+        rt_sparse_msgs_sent += o.rt_sparse_msgs_sent;
+        rt_sparse_msgs_recvd += o.rt_sparse_msgs_recvd;
+        rt_sparse_probe_polls += o.rt_sparse_probe_polls;
         coll_schedules_built += o.coll_schedules_built;
         coll_schedule_cache_hits += o.coll_schedule_cache_hits;
         coll_rounds_executed += o.coll_rounds_executed;

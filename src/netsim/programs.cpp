@@ -205,6 +205,25 @@ std::vector<RankProgram> alltoallw_program(const ClusterConfig& cluster,
     return progs;
 }
 
+SparseNeighborhood make_random_neighborhood(int nprocs, int degree, std::uint64_t bytes,
+                                            std::uint64_t seed) {
+    NNCOMM_CHECK_MSG(degree < nprocs, "neighborhood degree must leave room for distinct peers");
+    Rng rng(seed);
+    SparseNeighborhood out(static_cast<std::size_t>(nprocs));
+    for (int r = 0; r < nprocs; ++r) {
+        auto& edges = out[static_cast<std::size_t>(r)];
+        while (static_cast<int>(edges.size()) < degree) {
+            const int dest =
+                static_cast<int>(rng.uniform_u64(0, static_cast<std::uint64_t>(nprocs - 1)));
+            if (dest == r) continue;
+            bool dup = false;
+            for (const auto& e : edges) dup = dup || e.first == dest;
+            if (!dup) edges.emplace_back(dest, bytes);
+        }
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------------
 // ProgramBuilder
 
@@ -247,5 +266,79 @@ void ProgramBuilder::add_allreduce(std::uint64_t bytes) {
 }
 
 void ProgramBuilder::add_barrier() { emit_allreduce(progs_, 0, next_tag_block()); }
+
+namespace {
+
+/// Derives each rank's in-neighborhood and emits the payload traffic of one
+/// sparse exchange: out-edges as eager sends, in-edges as receives (self
+/// edges are local copies — free in the LogGP model — and skipped). When
+/// `ack` is set, every payload receive is answered with a zero-byte token on
+/// `ack_tag` and every sender collects its acks — the NBX completion proof.
+void emit_sparse_payloads(std::vector<RankProgram>& progs, const SparseNeighborhood& out,
+                          int payload_tag, int ack_tag, bool ack) {
+    const int n = static_cast<int>(progs.size());
+    NNCOMM_CHECK_MSG(static_cast<int>(out.size()) == n,
+                     "sparse neighborhood/cluster rank-count mismatch");
+    std::vector<std::vector<int>> in(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        for (const auto& [dest, bytes] : out[static_cast<std::size_t>(r)]) {
+            NNCOMM_CHECK_MSG(dest >= 0 && dest < n, "sparse neighborhood: dest out of range");
+            (void)bytes;
+            if (dest != r) in[static_cast<std::size_t>(dest)].push_back(r);
+        }
+    }
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs[static_cast<std::size_t>(r)];
+        // Sends never block in the simulator (buffered eager, like the
+        // runtime), so firing all payloads before any receive makes the
+        // program deadlock-free for every neighborhood shape — including
+        // empty ones, which fall straight through to the consensus phase.
+        for (const auto& [dest, bytes] : out[static_cast<std::size_t>(r)]) {
+            if (dest != r) p.push_back(Op::send(dest, payload_tag, bytes));
+        }
+        for (int s : in[static_cast<std::size_t>(r)]) {
+            p.push_back(Op::recv(s, payload_tag));
+            if (ack) p.push_back(Op::send(s, ack_tag, 0));
+        }
+        if (ack) {
+            for (const auto& [dest, bytes] : out[static_cast<std::size_t>(r)]) {
+                (void)bytes;
+                if (dest != r) p.push_back(Op::recv(dest, ack_tag));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void ProgramBuilder::add_sparse_exchange(const SparseNeighborhood& out) {
+    const int tag0 = next_tag_block();
+    emit_sparse_payloads(progs_, out, tag0, tag0 + 1, /*ack=*/true);
+    // The consensus: once a rank holds acks for all its sends it enters the
+    // nonblocking barrier; everyone leaving the barrier proves global
+    // quiescence. The simulator's blocking recvs make the barrier's
+    // dissemination rounds a faithful stand-in for the IBarrier.
+    emit_allreduce(progs_, 0, tag0 + 2);
+}
+
+void ProgramBuilder::add_dense_discovery(const SparseNeighborhood& out) {
+    const int n = cluster_.nprocs;
+    NNCOMM_CHECK_MSG(static_cast<int>(out.size()) == n,
+                     "sparse neighborhood/cluster rank-count mismatch");
+    // Discovery: every rank publishes its dense per-destination count
+    // vector (8 bytes per rank). The log-depth algorithms are deliberately
+    // chosen over Ring — the generous baseline still carries O(nprocs)
+    // bytes per rank, which is the asymptote the NBX path removes.
+    const GathervSchedule gs = ((n & (n - 1)) == 0) ? GathervSchedule::RecursiveDoubling
+                                                    : GathervSchedule::Dissemination;
+    const std::vector<std::uint64_t> count_vol(static_cast<std::size_t>(n),
+                                               8ull * static_cast<std::uint64_t>(n));
+    emit_allgatherv(progs_, count_vol, gs, {}, next_tag_block(),
+                    cluster_.rendezvous_threshold);
+    // Payloads: the pattern is now globally known, so no acks and no
+    // barrier — receivers post exactly the discovered receives.
+    const int tag0 = next_tag_block();
+    emit_sparse_payloads(progs_, out, tag0, tag0 + 1, /*ack=*/false);
+}
 
 }  // namespace nncomm::sim

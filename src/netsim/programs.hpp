@@ -90,6 +90,20 @@ std::vector<RankProgram> alltoallw_program(const ClusterConfig& cluster,
                                            AlltoallwSchedule schedule);
 
 // ---------------------------------------------------------------------------
+// sparse dynamic exchange (NBX)
+
+/// Per-rank outgoing neighborhoods: out[r] lists the (destination, bytes)
+/// messages rank r sends in one sparse exchange. The inverse neighborhood
+/// is derived by the program generators — ranks in the simulated programs
+/// know only what the executable NBX protocol would discover dynamically.
+using SparseNeighborhood = std::vector<std::vector<std::pair<int, std::uint64_t>>>;
+
+/// Random sparse pattern: every rank sends to `degree` distinct peers drawn
+/// uniformly (self excluded), `bytes` each. Deterministic in `seed`.
+SparseNeighborhood make_random_neighborhood(int nprocs, int degree, std::uint64_t bytes,
+                                            std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // composite programs
 
 /// Builds multi-phase rank programs by appending collective rounds — the
@@ -115,6 +129,19 @@ public:
     void add_allreduce(std::uint64_t bytes);
     /// Zero-byte dissemination barrier.
     void add_barrier();
+    /// One NBX sparse dynamic exchange (runtime/sparse.hpp mirrored op for
+    /// op): eager payload sends, inverse-neighborhood receives each
+    /// answered with a zero-byte ack (the runtime's stand-in for Issend
+    /// completion), ack receives for every payload sent, then the
+    /// nonblocking-consensus dissemination barrier. Cost scales with the
+    /// neighborhood degree plus O(log nprocs), independent of nprocs.
+    void add_sparse_exchange(const SparseNeighborhood& out);
+    /// The dense-discovery baseline for the same neighborhood: every rank
+    /// publishes its full nprocs-entry count vector (8 bytes per
+    /// destination) through a log-depth allgatherv, after which the pattern
+    /// is globally known and the payloads move without acks or a barrier.
+    /// Cost scales with nprocs regardless of how sparse the pattern is.
+    void add_dense_discovery(const SparseNeighborhood& out);
 
     std::vector<RankProgram> take() { return std::move(progs_); }
     const std::vector<RankProgram>& programs() const { return progs_; }

@@ -1,10 +1,12 @@
 #include "petsckit/mat.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <numeric>
 
 #include "coll/collectives.hpp"
+#include "runtime/sparse.hpp"
 
 namespace nncomm::pk {
 
@@ -17,31 +19,70 @@ MatAIJ::MatAIJ(rt::Comm& comm, std::shared_ptr<const Layout> layout)
 
 void MatAIJ::add_value(Index row, Index col, double v) {
     NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: add_value after assemble");
-    NNCOMM_CHECK_MSG(rows_.contains(row), "MatAIJ: row not locally owned");
+    NNCOMM_CHECK_MSG(row >= 0 && row < layout_->global(), "MatAIJ: row out of range");
     NNCOMM_CHECK_MSG(col >= 0 && col < layout_->global(), "MatAIJ: column out of range");
-    pending_.push_back(Entry{row, col, v, /*insert=*/false});
+    if (rows_.contains(row)) {
+        pending_.push_back(Entry{row, col, v, /*insert=*/false});
+    } else {
+        remote_[layout_->owner(row)].push_back(RemoteEntry{row, col, v, 0});
+    }
 }
 
 void MatAIJ::set_value(Index row, Index col, double v) {
     NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: set_value after assemble");
-    NNCOMM_CHECK_MSG(rows_.contains(row), "MatAIJ: row not locally owned");
+    NNCOMM_CHECK_MSG(row >= 0 && row < layout_->global(), "MatAIJ: row out of range");
     NNCOMM_CHECK_MSG(col >= 0 && col < layout_->global(), "MatAIJ: column out of range");
-    pending_.push_back(Entry{row, col, v, /*insert=*/true});
+    if (rows_.contains(row)) {
+        pending_.push_back(Entry{row, col, v, /*insert=*/true});
+    } else {
+        remote_[layout_->owner(row)].push_back(RemoteEntry{row, col, v, 1});
+    }
 }
 
 void MatAIJ::assemble(ScatterBackend ghost_backend) {
     NNCOMM_CHECK_MSG(!assembled_, "MatAIJ: already assembled");
     ghost_backend_ = ghost_backend;
 
-    // Combine duplicate coordinates in insertion order (insert overwrites,
-    // add accumulates).
+    // Flush stashed off-process entries to their owners. Nobody knows who
+    // will contribute to its rows, so this is the NBX sparse exchange:
+    // traffic proportional to the actual contributor graph plus one
+    // O(log p) consensus, and ranks with nothing to send still participate
+    // (the exchange is collective).
+    std::vector<std::pair<int, std::vector<RemoteEntry>>> flushes(
+        std::make_move_iterator(remote_.begin()), std::make_move_iterator(remote_.end()));
+    remote_.clear();
+    auto arrived = rt::sparse_exchange_t<RemoteEntry>(
+        *comm_, std::span<const std::pair<int, std::vector<RemoteEntry>>>(flushes));
+
+    // Combine duplicate coordinates with deterministic semantics (insert
+    // overwrites, add accumulates) in ascending-origin order: arrivals are
+    // source-sorted, and this rank's own entries take their place at
+    // origin == rank — as if every origin's insertions had been performed
+    // at the owner, origin by origin, in original insertion order. Arrival
+    // timing can never change the result.
     std::map<std::pair<Index, Index>, double> acc;
-    for (const Entry& e : pending_) {
-        auto key = std::make_pair(e.row, e.col);
-        auto [it, fresh] = acc.try_emplace(key, 0.0);
-        if (e.insert) it->second = e.val;
-        else it->second += e.val;
+    auto apply = [&](Index row, Index col, double val, bool insert) {
+        auto [it, fresh] = acc.try_emplace(std::make_pair(row, col), 0.0);
+        if (insert) it->second = val;
+        else it->second += val;
         (void)fresh;
+    };
+    const int rank = comm_->rank();
+    std::size_t ai = 0;
+    for (int origin = 0; origin < comm_->size(); ++origin) {
+        if (origin == rank) {
+            for (const Entry& e : pending_) apply(e.row, e.col, e.val, e.insert);
+            continue;
+        }
+        if (ai < arrived.size() && arrived[ai].first == origin) {
+            for (const RemoteEntry& e : arrived[ai].second) {
+                NNCOMM_CHECK_MSG(rows_.contains(e.row),
+                                 "MatAIJ: received an entry for a row this rank does not own");
+                apply(e.row, e.col, e.val, e.insert != 0);
+                ++remote_received_;
+            }
+            ++ai;
+        }
     }
     pending_.clear();
     pending_.shrink_to_fit();
@@ -79,32 +120,22 @@ void MatAIJ::assemble(ScatterBackend ghost_backend) {
         offdiag_.row_ptr[r + 1] += offdiag_.row_ptr[r];
     }
 
-    // Ghost scatter plan: allgather every rank's ghost-column list so the
-    // replicated index sets can be built identically everywhere.
-    const int n = comm_->size();
-    const auto nranks = static_cast<std::size_t>(n);
+    // Ghost scatter plan, discovered sparsely: each rank asks only the
+    // owners of its ghost columns (VecScatter::gather_sparse runs one NBX
+    // exchange of per-owner request lists). The lone dense step left is a
+    // scalar allgather of per-rank ghost COUNTS for the scratch layout —
+    // one Index per rank, never the O(p)-sized column lists the previous
+    // allgatherv shipped everywhere.
+    const auto nranks = static_cast<std::size_t>(comm_->size());
     const Index my_nghost = static_cast<Index>(col_map_.size());
     std::vector<Index> ghost_counts(nranks);
     coll::allgather(*comm_, &my_nghost, sizeof(Index), dt::Datatype::byte(),
                     ghost_counts.data(), sizeof(Index), dt::Datatype::byte());
 
-    std::vector<std::size_t> counts_bytes(nranks), displs(nranks);
-    std::size_t total_ghosts = 0;
-    for (std::size_t r = 0; r < nranks; ++r) {
-        counts_bytes[r] = static_cast<std::size_t>(ghost_counts[r]) * sizeof(Index);
-        displs[r] = total_ghosts * sizeof(Index);
-        total_ghosts += static_cast<std::size_t>(ghost_counts[r]);
-    }
-    std::vector<Index> all_ghost_cols(total_ghosts);
-    coll::allgatherv(*comm_, col_map_.data(), col_map_.size() * sizeof(Index),
-                     dt::Datatype::byte(), all_ghost_cols.data(), counts_bytes, displs,
-                     dt::Datatype::byte());
-
     ghost_layout_ = std::make_shared<const Layout>(Layout::from_counts(ghost_counts));
     ghost_vals_ = Vec(*comm_, ghost_layout_);
     ghost_scatter_ = std::make_unique<VecScatter>(
-        *comm_, *layout_, IndexSet::general(std::move(all_ghost_cols)), *ghost_layout_,
-        IndexSet::identity(static_cast<Index>(total_ghosts)));
+        VecScatter::gather_sparse(*comm_, *layout_, col_map_, *ghost_layout_));
 
     assembled_ = true;
 }

@@ -8,12 +8,25 @@
 // Krylov iteration exercises the paper's scatter machinery — and computes
 // y = A·x_local + B·x_ghost.
 //
-// Assembly restriction (documented, PETSc-typical): each rank inserts only
-// its own rows, so assembly needs no communication beyond building the
-// ghost scatter (one allgatherv of ghost-column lists).
+// Off-process assembly (PETSc's MatSetValues with any row): a rank may
+// insert entries into rows it does not own. Such entries are stashed
+// locally, keyed by owner, and flushed at assemble() with one
+// rt::sparse_exchange — owners never know their contributor set up front,
+// so the flush is exactly the NBX sparse dynamic exchange pattern (no
+// dense O(p) metadata anywhere). The merge order is deterministic: every
+// entry is applied at its owner as if inserted in ascending origin-rank
+// order, entries from the same origin in their original insertion order —
+// so the assembled matrix is bit-identical to one built by the owning
+// ranks performing those insertions themselves in that order.
+//
+// The ghost scatter for matvecs is likewise discovered sparsely
+// (VecScatter::gather_sparse): the only dense-ish setup step left is a
+// single scalar allgather of per-rank ghost counts to build the scratch
+// layout — one Index per rank, not a vector.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -42,13 +55,16 @@ public:
     Index global_size() const { return layout_->global(); }
     const OwnershipRange& row_range() const { return rows_; }
 
-    /// Accumulates a value (add mode). `row` must be locally owned; `col`
-    /// may be any global index. Must be called before assemble().
+    /// Accumulates a value (add mode). `row` and `col` may be ANY global
+    /// index: entries for rows owned elsewhere are stashed and flushed to
+    /// their owner at assemble(). Must be called before assemble().
     void add_value(Index row, Index col, double v);
-    /// Insert-or-overwrite variant.
+    /// Insert-or-overwrite variant (same off-process semantics).
     void set_value(Index row, Index col, double v);
 
-    /// Builds the CSR blocks and the ghost scatter. Collective.
+    /// Builds the CSR blocks and the ghost scatter, flushing any stashed
+    /// off-process entries to their owners first (one NBX sparse
+    /// exchange). Collective even when no rank stashed anything.
     void assemble(ScatterBackend ghost_backend = ScatterBackend::HandTuned);
     bool assembled() const { return assembled_; }
 
@@ -63,6 +79,15 @@ public:
     std::size_t num_ghost_cols() const { return col_map_.size(); }
     const CsrBlock& diag_block() const { return diag_; }
     const CsrBlock& offdiag_block() const { return offdiag_; }
+    /// Off-process entries currently stashed for other owners (pre-
+    /// assemble; zero afterwards).
+    std::size_t remote_stashed() const {
+        std::size_t total = 0;
+        for (const auto& [owner, entries] : remote_) total += entries.size();
+        return total;
+    }
+    /// Off-process entries received from other ranks by assemble().
+    std::size_t remote_received() const { return remote_received_; }
 
 private:
     struct Entry {
@@ -72,10 +97,23 @@ private:
         bool insert;
     };
 
+    /// Wire form of one stashed off-process entry (trivially copyable for
+    /// rt::sparse_exchange_t; `insert` widened to keep the layout
+    /// padding-free).
+    struct RemoteEntry {
+        Index row;
+        Index col;
+        double val;
+        std::uint64_t insert;
+    };
+    static_assert(sizeof(RemoteEntry) == 32);
+
     rt::Comm* comm_;
     std::shared_ptr<const Layout> layout_;
     OwnershipRange rows_{};
     std::vector<Entry> pending_;
+    std::map<int, std::vector<RemoteEntry>> remote_;  ///< owner -> stashed entries
+    std::size_t remote_received_ = 0;
     bool assembled_ = false;
 
     CsrBlock diag_;     ///< columns owned locally (block-local indices)

@@ -1,7 +1,10 @@
 #include "petsckit/scatter.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+
+#include "runtime/sparse.hpp"
 
 namespace nncomm::pk {
 
@@ -58,6 +61,13 @@ VecScatter::VecScatter(rt::Comm& comm, const Layout& src_layout, const IndexSet&
     for (auto& [r, plan] : send_map) sends_.push_back(std::move(plan));
     for (auto& [r, plan] : recv_map) recvs_.push_back(std::move(plan));
 
+    finalize_plans(n, rank);
+}
+
+// Shared constructor tail: once sends_/recvs_/self_* are known (however
+// they were discovered — replicated walk or NBX), derive the per-peer byte
+// table and the prebuilt Alltoallw argument arrays.
+void VecScatter::finalize_plans(int n, int rank) {
     send_bytes_.assign(static_cast<std::size_t>(n), 0);
     for (const PeerPlan& p : sends_) {
         send_bytes_[static_cast<std::size_t>(p.rank)] = p.offsets.size() * 8;
@@ -85,6 +95,67 @@ VecScatter::VecScatter(rt::Comm& comm, const Layout& src_layout, const IndexSet&
         w_recvcounts_[static_cast<std::size_t>(rank)] = 1;
         w_recvtypes_[static_cast<std::size_t>(rank)] = offsets_type(self_dst_);
     }
+}
+
+VecScatter VecScatter::gather_sparse(rt::Comm& comm, const Layout& src_layout,
+                                     std::span<const Index> needed_global,
+                                     const Layout& dst_layout) {
+    const int n = comm.size();
+    const int rank = comm.rank();
+    NNCOMM_CHECK_MSG(src_layout.size() == n && dst_layout.size() == n,
+                     "gather_sparse: layouts must match the communicator");
+    NNCOMM_CHECK_MSG(dst_layout.range(rank).count() ==
+                         static_cast<Index>(needed_global.size()),
+                     "gather_sparse: dst layout must own one slot per needed index");
+
+    VecScatter vs;
+    vs.comm_ = &comm;
+    vs.src_local_ = src_layout.range(rank).count();
+    vs.dst_local_ = dst_layout.range(rank).count();
+    const Index src_begin = src_layout.range(rank).begin;
+
+    // Local pass: split the needed list into owned entries (pure local
+    // moves) and per-owner request lists, both in k order so the receive
+    // plan and the request payload enumerate pairs identically.
+    std::map<int, std::vector<Index>> request_map;
+    std::map<int, PeerPlan> recv_map;
+    for (std::size_t k = 0; k < needed_global.size(); ++k) {
+        const Index g = needed_global[k];
+        const int owner = src_layout.owner(g);
+        if (owner == rank) {
+            vs.self_src_.push_back(g - src_begin);
+            vs.self_dst_.push_back(static_cast<Index>(k));
+        } else {
+            request_map[owner].push_back(g);
+            auto& plan = recv_map[owner];
+            plan.rank = owner;
+            plan.offsets.push_back(static_cast<Index>(k));
+        }
+    }
+
+    // NBX discovery: each rank tells only its actual source owners what it
+    // reads from them; owners learn their reader set from whatever
+    // arrives. No dense O(p) count vectors are exchanged — traffic is
+    // proportional to the true neighborhood plus the O(log p) consensus.
+    std::vector<std::pair<int, std::vector<Index>>> requests(
+        std::make_move_iterator(request_map.begin()), std::make_move_iterator(request_map.end()));
+    auto serves = rt::sparse_exchange_t<Index>(
+        comm, std::span<const std::pair<int, std::vector<Index>>>(requests));
+    for (auto& [reader, globals] : serves) {
+        PeerPlan plan;
+        plan.rank = reader;
+        plan.offsets.reserve(globals.size());
+        for (const Index g : globals) {
+            NNCOMM_CHECK_MSG(src_layout.owner(g) == rank,
+                             "gather_sparse: request for an index this rank does not own");
+            plan.offsets.push_back(g - src_begin);
+        }
+        vs.sends_.push_back(std::move(plan));  // serves is source-sorted
+    }
+    for (auto& [r, plan] : recv_map) vs.recvs_.push_back(std::move(plan));
+
+    vs.finalize_plans(n, rank);
+    return vs;
 }
 
 std::vector<std::uint64_t> VecScatter::send_blocks() const {

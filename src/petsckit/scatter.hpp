@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "coll/collectives.hpp"
@@ -70,6 +71,21 @@ public:
     /// Convenience: plan between two existing vectors' layouts.
     VecScatter(const Vec& src, const IndexSet& is_src, const Vec& dst, const IndexSet& is_dst)
         : VecScatter(src.comm(), src.layout(), is_src, dst.layout(), is_dst) {}
+
+    /// Sparse-discovery gather plan (collective). Unlike the replicated
+    /// constructor, each rank passes only ITS OWN needs: the global src
+    /// indices whose values should land in this rank's dst slots, in slot
+    /// order (dst slot k receives src[needed_global[k]]; `dst_layout` must
+    /// give this rank exactly needed_global.size() entries). Nobody knows
+    /// its reader set up front — the plan discovers the sparse
+    /// neighborhood with one rt::sparse_exchange of per-owner request
+    /// lists instead of dense O(p)-per-rank count vectors, so setup cost
+    /// scales with the actual neighborhood, not the communicator size. The
+    /// resulting scatter is indistinguishable from one planned with
+    /// replicated index sets describing the same pairs.
+    static VecScatter gather_sparse(rt::Comm& comm, const Layout& src_layout,
+                                    std::span<const Index> needed_global,
+                                    const Layout& dst_layout);
 
     /// Executes the planned scatter src -> dst (collective). Vectors must
     /// match the layouts the scatter was planned with. Add mode requires
@@ -126,6 +142,8 @@ public:
 private:
     friend class ScatterRequest;
 
+    VecScatter() = default;  ///< for gather_sparse, which fills members itself
+
     struct PeerPlan {
         int rank = -1;
         std::vector<Index> offsets;  ///< local element offsets, in k order
@@ -144,6 +162,10 @@ private:
     ScatterRequest begin_datatype(const void* sendbuf, void* recvbuf,
                                   coll::AlltoallwAlgo algo, dt::EngineKind engine,
                                   ScatterMode mode) const;
+
+    // Constructor tail shared with gather_sparse: derives send_bytes_ and
+    // the prebuilt Alltoallw argument arrays from sends_/recvs_/self_*.
+    void finalize_plans(int n, int rank);
 
     rt::Comm* comm_ = nullptr;
     Index src_local_ = 0;

@@ -814,6 +814,12 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
                           int tag, int context, Protocol proto, std::size_t total) {
     if (proto == Protocol::Eager || world_->policy.enabled) return false;
     NNCOMM_CHECK(type.valid());
+    // Boundary contract (mirrored by coll/persistent.cpp, coll/schedule.cpp
+    // phase_protocol and netsim/sim.cpp): rendezvous iff total > 0 AND
+    // total >= threshold. `total < threshold_` below is the exact
+    // complement of the >= convention — a message of exactly threshold
+    // bytes attempts rendezvous; a zero-byte message never does, even at
+    // threshold 0.
     if (total == 0) return false;
     if (proto == Protocol::Auto && total < rendezvous_threshold_) return false;
     NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
@@ -1362,6 +1368,13 @@ ProbeStatus Comm::iprobe(int source, int tag) {
     process_arrivals();
     Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
     return scan_unexpected(box, source, tag, context_);
+}
+
+ProbeStatus Comm::iprobe_i(int source, int tag) {
+    progress();
+    process_arrivals();
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    return scan_unexpected(box, source, tag, context_ + detail::kInternalContextOffset);
 }
 
 Comm Comm::dup() {

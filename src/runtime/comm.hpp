@@ -232,6 +232,11 @@ public:
                           const dt::Datatype& sendtype, int dest, int sendtag, void* recvbuf,
                           std::size_t recvcount, const dt::Datatype& recvtype, int source,
                           int recvtag, Protocol proto = Protocol::Auto);
+    /// Internal-context nonblocking probe: like iprobe, but matching on the
+    /// shifted collective context, so it can never observe (or steal) user
+    /// point-to-point traffic. The NBX sparse exchange (runtime/sparse.cpp)
+    /// drives its consensus loop with this.
+    ProbeStatus iprobe_i(int source, int tag);
 
     // -- convenience typed sends (contiguous arrays) --------------------------
     template <typename T>

@@ -3,6 +3,7 @@
 // boundaries, all collective algorithms).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "petsckit/dmda.hpp"
@@ -205,6 +206,42 @@ TEST_P(DmdaGhost, LocalToGlobalRoundTrip) {
         for (Index g = 0; g < back.local_size(); ++g) {
             EXPECT_DOUBLE_EQ(back.data()[g], v.data()[g]);
         }
+    });
+}
+
+// The NBX-discovered ghost path must be bit-identical to the dense
+// Alltoallw path on every case of the sweep — including the Star-stencil
+// corner regions both must leave untouched.
+TEST_P(DmdaGhost, SparsePathBitIdenticalToDense) {
+    const GhostCase& tc = kGhostCases[GetParam()];
+    World w(tc.nranks);
+    w.run([&](Comm& c) {
+        DMDA da(c, tc.dim, tc.size, tc.dof, tc.sw, tc.stencil);
+        Vec v = da.create_global();
+        fill_dmda_vec(da, v);
+
+        // Poison both ghosted arrays identically so "untouched" is
+        // distinguishable from "filled with the right value".
+        auto dense = da.create_local();
+        auto sparse = da.create_local();
+        std::fill(dense.begin(), dense.end(), -777.25);
+        std::fill(sparse.begin(), sparse.end(), -777.25);
+
+        da.global_to_local(v, dense);
+        da.global_to_local_sparse(v, sparse);
+        ASSERT_EQ(dense.size(), sparse.size());
+        for (std::size_t t = 0; t < dense.size(); ++t) {
+            ASSERT_EQ(dense[t], sparse[t]) << "ghosted slot " << t;
+        }
+
+        // Repeat with fresh values: the lazily built plan must be reusable.
+        for (Index g = 0; g < v.local_size(); ++g) v.data()[g] += 1000.0;
+        da.global_to_local(v, dense);
+        da.global_to_local_sparse(v, sparse);
+        for (std::size_t t = 0; t < dense.size(); ++t) {
+            ASSERT_EQ(dense[t], sparse[t]) << "ghosted slot " << t << " (second pass)";
+        }
+        EXPECT_NE(da.sparse_plan(), nullptr);
     });
 }
 

@@ -150,15 +150,30 @@ TEST(Mat, GetDiagonal) {
     });
 }
 
-TEST(Mat, RejectsOffRankRowsAndLateInserts) {
-    World w(2);
-    EXPECT_THROW(w.run([](Comm& c) {
-                     auto layout = std::make_shared<const Layout>(Layout::uniform(4, 2));
-                     MatAIJ m(c, layout);
-                     const Index foreign = (c.rank() == 0) ? 3 : 0;
-                     m.set_value(foreign, 0, 1.0);
-                 }),
-                 nncomm::Error);
+TEST(Mat, RejectsOutOfRangeRowsAndLateInserts) {
+    // Off-process rows are legal now (stashed and flushed at assemble);
+    // what still throws is a row beyond the global size...
+    {
+        World w(2);
+        EXPECT_THROW(w.run([](Comm& c) {
+                         auto layout = std::make_shared<const Layout>(Layout::uniform(4, 2));
+                         MatAIJ m(c, layout);
+                         m.set_value(7, 0, 1.0);
+                     }),
+                     nncomm::Error);
+    }
+    // ...and any insertion after assemble().
+    {
+        World w(2);
+        EXPECT_THROW(w.run([](Comm& c) {
+                         auto layout = std::make_shared<const Layout>(Layout::uniform(4, 2));
+                         MatAIJ m(c, layout);
+                         m.add_value(c.rank() == 0 ? 0 : 3, 0, 1.0);
+                         m.assemble();
+                         m.add_value(c.rank() == 0 ? 0 : 3, 1, 1.0);
+                     }),
+                     nncomm::Error);
+    }
 }
 
 TEST(Mat, AssembledLaplacianMatchesMatrixFreeOperator) {

@@ -111,6 +111,28 @@ TEST(Simulator, PingPongChainIsDeterministic) {
 // ---------------------------------------------------------------------------
 // cost model
 
+TEST(Simulator, RendezvousBoundaryMatchesRuntimeContract) {
+    // The shared contract across comm.cpp / persistent.cpp / schedule.cpp
+    // / sim.cpp: rendezvous iff bytes > 0 AND bytes >= threshold. Pin the
+    // exact 32 KiB boundary and the zero-byte-at-threshold-0 corner.
+    constexpr std::uint64_t kT = 32 * 1024;
+    auto run_one = [](std::uint64_t bytes, std::uint64_t threshold) {
+        auto c = tiny_cluster(2);
+        c.rendezvous_threshold = threshold;
+        Simulator sim(c);
+        std::vector<RankProgram> progs{{Op::send(1, 0, bytes)}, {Op::recv(0, 0)}};
+        return sim.run(progs).rendezvous_messages;
+    };
+    EXPECT_EQ(run_one(kT - 1, kT), 0u);  // below: eager
+    EXPECT_EQ(run_one(kT, kT), 1u);      // exactly at: rendezvous
+    EXPECT_EQ(run_one(kT + 1, kT), 1u);  // above: rendezvous
+    // Threshold 0: every nonempty message is rendezvous, but a zero-byte
+    // message never is (the runtime's try_rendezvous rejects total == 0 —
+    // the simulator must not charge a handshake the runtime never pays).
+    EXPECT_EQ(run_one(1, 0), 1u);
+    EXPECT_EQ(run_one(0, 0), 0u);
+}
+
 TEST(CostModel, DualIsLinearInBytes) {
     auto c = make_uniform_cluster(2);
     const double t1 = pack_cost_dual_us(c, 1 << 16, 24.0);
@@ -305,6 +327,51 @@ TEST(AlltoallwSchedule, SingleContextPackingDelaysSmallPeers) {
     auto t_dual = Simulator(c).run(alltoallw_program(c, wl, AlltoallwSchedule::Binned));
     // Rank 2 (the small peer) finishes far earlier in the optimized setup.
     EXPECT_LT(t_dual.finish_us[2] * 5.0, t_single.finish_us[2]);
+}
+
+TEST(SparseExchangeSchedule, MessageCountsMatchTheProtocol) {
+    // Degree-d NBX: d payloads + d zero-byte acks per rank, plus the
+    // ceil(log2 n)-phase dissemination barrier (one send per rank per
+    // phase). Every message the protocol promises must be delivered.
+    const int n = 24, degree = 3;
+    auto c = make_uniform_cluster(n);
+    const SparseNeighborhood nbhd = make_random_neighborhood(n, degree, 256, 7);
+    ProgramBuilder b(c);
+    b.add_sparse_exchange(nbhd);
+    const SimResult r = Simulator(c).run(b.programs());
+    int phases = 0;
+    for (int step = 1; step < n; step <<= 1) ++phases;
+    EXPECT_EQ(r.messages,
+              static_cast<std::uint64_t>(n) * (2u * degree + static_cast<unsigned>(phases)));
+    EXPECT_EQ(r.bytes, static_cast<std::uint64_t>(n) * degree * 256u);
+}
+
+TEST(SparseExchangeSchedule, EmptyNeighborhoodIsJustTheBarrier) {
+    const int n = 16;
+    auto c = make_uniform_cluster(n);
+    const SparseNeighborhood empty(static_cast<std::size_t>(n));
+    ProgramBuilder b(c);
+    b.add_sparse_exchange(empty);
+    const SimResult r = Simulator(c).run(b.programs());
+    int phases = 0;
+    for (int step = 1; step < n; step <<= 1) ++phases;
+    EXPECT_EQ(r.messages, static_cast<std::uint64_t>(n) * static_cast<unsigned>(phases));
+    EXPECT_EQ(r.bytes, 0u);
+}
+
+TEST(SparseExchangeSchedule, SetupBeatsDenseDiscoveryAtScale) {
+    // The committed BENCH_sparse_exchange.json gate in miniature: at 512
+    // simulated ranks the NBX schedule's makespan must already beat the
+    // dense count-vector discovery for a degree-8 pattern.
+    const int n = 512;
+    auto c = make_uniform_cluster(n);
+    const SparseNeighborhood nbhd = make_random_neighborhood(n, 8, 512, 0x5eed);
+    ProgramBuilder sparse(c), dense(c);
+    sparse.add_sparse_exchange(nbhd);
+    dense.add_dense_discovery(nbhd);
+    const double sparse_us = Simulator(c).run(sparse.programs()).makespan_us;
+    const double dense_us = Simulator(c).run(dense.programs()).makespan_us;
+    EXPECT_LT(sparse_us, dense_us);
 }
 
 TEST(PaperTestbed, TwoSpeedClasses) {

@@ -18,6 +18,7 @@
 #include <numeric>
 #include <vector>
 
+#include "coll/persistent.hpp"
 #include "runtime/comm.hpp"
 
 namespace {
@@ -100,6 +101,63 @@ TEST(Rendezvous, ThresholdBoundarySizes) {
         EXPECT_EQ(s.zero_copy.load(), 1u) << "bytes=" << bytes;
         // Exactly one pass over the payload; only the token is staged.
         EXPECT_EQ(s.bytes_copied.load(), bytes + 2 * sizeof(int)) << "bytes=" << bytes;
+    }
+}
+
+TEST(Rendezvous, ExactThirtyTwoKiBBoundaryPinnedAcrossLayers) {
+    // Regression pin for the audited boundary contract: rendezvous iff
+    // total > 0 AND total >= threshold, at the documentation-favorite
+    // threshold of exactly 32 KiB. Below the boundary both layers must go
+    // eager; at and above it both must freeze rendezvous.
+    constexpr std::size_t kT = 32 * 1024;
+
+    // Runtime point-to-point (comm.cpp try_rendezvous).
+    {
+        ExchangeStats s;
+        posted_exchange(kT - 1, kT, s);
+        EXPECT_EQ(s.zero_copy.load(), 0u);
+    }
+    for (std::size_t bytes : {kT, kT + 1}) {
+        ExchangeStats s;
+        posted_exchange(bytes, kT, s);
+        EXPECT_EQ(s.zero_copy.load(), 1u) << "bytes=" << bytes;
+    }
+
+    // Persistent alltoallw plan (persistent.cpp protocol freeze): each of
+    // two ranks sends its peer exactly `bytes`; the plan's CTS handshake
+    // guarantees the receive is posted, so the frozen Rendezvous decision
+    // always lands zero-copy.
+    auto plan_exchange = [](std::size_t bytes) {
+        std::atomic<std::uint64_t> zero_copy{0};
+        World w(2);
+        w.run([&](Comm& c) {
+            c.set_rendezvous_threshold(kT);
+            const int peer = 1 - c.rank();
+            std::vector<std::size_t> counts(2, 0);
+            std::vector<std::ptrdiff_t> displs(2, 0);
+            std::vector<Datatype> types(2, Datatype::byte());
+            counts[static_cast<std::size_t>(peer)] = bytes;
+            coll::AlltoallwPlan plan(c, counts, displs, types, counts, displs, types);
+            std::vector<std::uint8_t> sendbuf(bytes, static_cast<std::uint8_t>(c.rank() + 1));
+            std::vector<std::uint8_t> recvbuf(bytes, 0);
+            plan.execute(sendbuf.data(), recvbuf.data());
+            for (std::size_t i = 0; i < bytes; ++i) {
+                ASSERT_EQ(recvbuf[i], static_cast<std::uint8_t>(peer + 1));
+            }
+            zero_copy += c.counters().rt_zero_copy_msgs;
+        });
+        return zero_copy.load();
+    };
+    // Below: frozen eager, so zero-copy is impossible. At/above: frozen
+    // rendezvous; in a symmetric exchange a rank's payload may fire before
+    // the peer consumed its CTS grant (FIFO makes it degrade to eager),
+    // but whichever payload fires last always lands zero-copy — so at
+    // least one of the two messages must.
+    EXPECT_EQ(plan_exchange(kT - 1), 0u);
+    for (std::size_t bytes : {kT, kT + 1}) {
+        const std::uint64_t zc = plan_exchange(bytes);
+        EXPECT_GE(zc, 1u) << "bytes=" << bytes;
+        EXPECT_LE(zc, 2u) << "bytes=" << bytes;
     }
 }
 

@@ -3,6 +3,7 @@
 // introspection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "petsckit/scatter.hpp"
@@ -215,6 +216,115 @@ TEST(Scatter, TrafficIntrospection) {
         const auto blocks = sc.send_blocks();
         EXPECT_EQ(blocks[peer], 1u);
         EXPECT_EQ(sc.local_moves(), 0u);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// gather_sparse: NBX sparse-neighborhood plan discovery
+
+// Each rank declares only its own needs; the discovered plan must be
+// indistinguishable from one built the replicated way from the same pairs.
+TEST(GatherSparse, MatchesReplicatedPlan) {
+    World w(4);
+    w.run([](Comm& c) {
+        const Index n = 40;
+        Vec src(c, n);
+        fill_global_identity(src);
+        const auto& src_layout = src.layout();
+
+        // Deterministic per-rank need list: a mix of owned and remote
+        // indices, repeats across ranks allowed.
+        const Index per_rank = 6;
+        auto needs_of = [&](int r) {
+            std::vector<Index> v;
+            for (Index t = 0; t < per_rank; ++t) {
+                v.push_back((static_cast<Index>(r) * 7 + t * 3 + t * t) % n);
+            }
+            return v;
+        };
+        const std::vector<Index> mine = needs_of(c.rank());
+
+        std::vector<Index> counts(4, per_rank);
+        const auto dst_layout =
+            std::make_shared<const pk::Layout>(pk::Layout::from_counts(counts));
+        Vec dst_sparse(c, dst_layout), dst_repl(c, dst_layout);
+
+        VecScatter sparse = VecScatter::gather_sparse(c, src_layout, mine, *dst_layout);
+
+        // The replicated oracle: every rank passes all ranks' needs.
+        std::vector<Index> all_src;
+        for (int r = 0; r < 4; ++r) {
+            const auto v = needs_of(r);
+            all_src.insert(all_src.end(), v.begin(), v.end());
+        }
+        VecScatter repl(c, src_layout, IndexSet::general(all_src), *dst_layout,
+                        IndexSet::identity(static_cast<Index>(all_src.size())));
+
+        // Identical traffic plan...
+        EXPECT_EQ(sparse.send_bytes(), repl.send_bytes());
+        EXPECT_EQ(sparse.send_blocks(), repl.send_blocks());
+        EXPECT_EQ(sparse.local_moves(), repl.local_moves());
+
+        // ...and identical data movement on every backend.
+        for (ScatterBackend backend : kBackends) {
+            std::fill(dst_sparse.data(), dst_sparse.data() + per_rank, -1.0);
+            std::fill(dst_repl.data(), dst_repl.data() + per_rank, -1.0);
+            sparse.execute(src, dst_sparse, backend);
+            repl.execute(src, dst_repl, backend);
+            for (Index k = 0; k < per_rank; ++k) {
+                const auto kk = static_cast<std::size_t>(k);
+                EXPECT_DOUBLE_EQ(dst_sparse.data()[kk], static_cast<double>(mine[kk]));
+                EXPECT_DOUBLE_EQ(dst_sparse.data()[kk], dst_repl.data()[kk]);
+            }
+        }
+    });
+}
+
+TEST(GatherSparse, EmptyNeedsOnSomeRanks) {
+    // Ranks 1..3 need nothing; rank 0 pulls one entry from everyone. No
+    // rank may deadlock waiting for metadata that never comes.
+    World w(4);
+    w.run([](Comm& c) {
+        const Index n = 12;  // 3 per rank
+        Vec src(c, n);
+        fill_global_identity(src);
+        std::vector<Index> mine;
+        if (c.rank() == 0) mine = {2, 4, 7, 10};
+        std::vector<Index> counts = {4, 0, 0, 0};
+        const auto dst_layout =
+            std::make_shared<const pk::Layout>(pk::Layout::from_counts(counts));
+        Vec dst(c, dst_layout);
+        VecScatter sc = VecScatter::gather_sparse(c, src.layout(), mine, *dst_layout);
+        sc.execute(src, dst, ScatterBackend::HandTuned);
+        if (c.rank() == 0) {
+            EXPECT_DOUBLE_EQ(dst.data()[0], 2.0);
+            EXPECT_DOUBLE_EQ(dst.data()[1], 4.0);
+            EXPECT_DOUBLE_EQ(dst.data()[2], 7.0);
+            EXPECT_DOUBLE_EQ(dst.data()[3], 10.0);
+        }
+    });
+}
+
+TEST(GatherSparse, AllLocalNeedsNoTraffic) {
+    World w(3);
+    w.run([](Comm& c) {
+        const Index n = 9;
+        Vec src(c, n);
+        fill_global_identity(src);
+        // Every rank needs exactly its own entries: zero wire traffic.
+        std::vector<Index> mine;
+        for (Index g = src.range().begin; g < src.range().end; ++g) mine.push_back(g);
+        std::vector<Index> counts(3, 3);
+        const auto dst_layout =
+            std::make_shared<const pk::Layout>(pk::Layout::from_counts(counts));
+        Vec dst(c, dst_layout);
+        VecScatter sc = VecScatter::gather_sparse(c, src.layout(), mine, *dst_layout);
+        for (std::uint64_t b : sc.send_bytes()) EXPECT_EQ(b, 0u);
+        EXPECT_EQ(sc.local_moves(), 3u);
+        sc.execute(src, dst, ScatterBackend::DatatypeOptimized);
+        for (std::size_t k = 0; k < 3; ++k) {
+            EXPECT_DOUBLE_EQ(dst.data()[k], static_cast<double>(mine[k]));
+        }
     });
 }
 

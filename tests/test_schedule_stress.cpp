@@ -27,6 +27,7 @@
 #include "coll/schedule.hpp"
 #include "netsim/model.hpp"
 #include "petsckit/scatter.hpp"
+#include "runtime/sparse.hpp"
 
 namespace {
 
@@ -502,6 +503,115 @@ TEST_P(Perturbed, ConcurrentIalltoallwSchedulesDoNotAlias) {
                 }
             }
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// empty neighborhoods under perturbation
+//
+// The degenerate sparse cases are where consensus-style protocols deadlock:
+// a rank with nothing to say still has to participate in the termination
+// decision, and a rank everyone ignores still has to learn that nobody is
+// talking to it. Every fixture below must terminate (and agree) under the
+// full adversarial-schedule matrix.
+
+// All ranks pass empty neighborhoods: sparse_exchange degenerates to the
+// dissemination barrier alone and must still terminate with zero receives.
+TEST_P(Perturbed, SparseExchangeAllEmptyNeighborhoods) {
+    World w(5);
+    w.set_schedule(policy());
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        for (int round = 0; round < 3; ++round) {
+            std::vector<rt::SparseRecv> got = rt::sparse_exchange(c, {});
+            EXPECT_TRUE(got.empty()) << "round " << round;
+        }
+    });
+}
+
+// One rank is isolated on both sides: it sends nothing and nothing targets
+// it, while the rest run a ring. The isolated rank must exit the consensus
+// with zero receives at the same time as everyone else.
+TEST_P(Perturbed, SparseExchangeIsolatedRank) {
+    const int n = 6;
+    const int isolated = 3;
+    World w(n);
+    w.set_schedule(policy());
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        std::vector<std::uint8_t> payload(64, static_cast<std::uint8_t>(c.rank()));
+        std::vector<rt::SparseSend> sends;
+        if (c.rank() != isolated) {
+            int to = (c.rank() + 1) % n;
+            if (to == isolated) to = (to + 1) % n;
+            sends.push_back({to, std::as_bytes(std::span<const std::uint8_t>(payload))});
+        }
+        std::vector<rt::SparseRecv> got = rt::sparse_exchange(c, sends);
+        if (c.rank() == isolated) {
+            EXPECT_TRUE(got.empty());
+        } else {
+            ASSERT_EQ(got.size(), 1u);
+            int from = (c.rank() + n - 1) % n;
+            if (from == isolated) from = (from + n - 1) % n;
+            EXPECT_EQ(got[0].source, from);
+            ASSERT_EQ(got[0].bytes.size(), payload.size());
+            EXPECT_EQ(std::to_integer<int>(got[0].bytes[0]), from);
+        }
+    });
+}
+
+// A VecScatter whose index sets are empty moves nothing but its construction
+// still runs the sparse neighborhood discovery — no rank may hang, and all
+// three backends must agree that the destination is untouched.
+TEST_P(PerturbedSeed, EmptyVecScatterEveryBackend) {
+    World w(4);
+    w.set_schedule(SchedulePolicy::perturb(seed(), 2));
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const Index n = 16;
+        Vec src(c, n), dst(c, n);
+        for (Index i = src.range().begin; i < src.range().end; ++i) {
+            src.at_global(i) = static_cast<double>(i);
+            dst.at_global(i) = -4.5;
+        }
+        VecScatter sc(src, IndexSet::general({}), dst, IndexSet::general({}));
+        for (ScatterBackend backend : {ScatterBackend::HandTuned,
+                                       ScatterBackend::DatatypeBaseline,
+                                       ScatterBackend::DatatypeOptimized}) {
+            sc.execute(src, dst, backend);
+            for (Index i = dst.range().begin; i < dst.range().end; ++i) {
+                EXPECT_DOUBLE_EQ(dst.at_global(i), -4.5)
+                    << pk::scatter_backend_name(backend);
+            }
+        }
+        // The sparse constructor path with nothing needed anywhere: the
+        // destination layout owns zero slots per rank to match the empty
+        // request lists.
+        const std::vector<Index> zero_counts(static_cast<std::size_t>(c.size()), 0);
+        const pk::Layout empty_dst = pk::Layout::from_counts(zero_counts);
+        VecScatter sparse = VecScatter::gather_sparse(c, src.layout(), {}, empty_dst);
+        for (std::uint64_t b : sparse.send_bytes()) EXPECT_EQ(b, 0u);
+    });
+}
+
+// An AlltoallwPlan whose counts are all zero compiles to an empty schedule;
+// repeated executes must complete immediately under perturbation.
+TEST_P(PerturbedSeed, AllZeroAlltoallwPlan) {
+    const int n = 4;
+    World w(n);
+    w.set_schedule(SchedulePolicy::perturb(seed(), 2));
+    w.run([&](Comm& c) {
+        c.set_rendezvous_threshold(threshold());
+        const auto un = static_cast<std::size_t>(n);
+        std::vector<std::size_t> counts(un, 0);
+        std::vector<std::ptrdiff_t> displs(un, 0);
+        std::vector<Datatype> types(un, Datatype::int32());
+        coll::AlltoallwPlan plan(c, counts, displs, types, counts, displs, types);
+        for (int exec = 0; exec < 3; ++exec) {
+            plan.execute(nullptr, nullptr);
+        }
+        EXPECT_EQ(plan.counters().persistent_executes, 3u);
+        EXPECT_EQ(plan.counters().bytes_packed, 0u);
     });
 }
 

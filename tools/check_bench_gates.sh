@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Every BENCH_*.json the ROADMAP cites as an on-file perf gate must actually
+# be committed — a gate that silently vanishes (deleted, renamed, or never
+# regenerated after a bench change) is a gate nobody runs.
+#
+# A committed gate whose own "pass" flag is false is reported but does not
+# fail the check: the flags record timing-sensitive speedup targets that
+# vary with the machine that regenerated the file, and the authoritative
+# enforcement is the bench binary's exit code when it runs.
+#
+# Usage: tools/check_bench_gates.sh [repo-root]   (defaults to script's repo)
+set -eu
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+status=0
+
+refs=$(grep -o 'BENCH_[A-Za-z0-9_]*\.json' "$root/ROADMAP.md" | sort -u | tr '\n' ' ')
+if [ -z "$refs" ]; then
+    echo "check_bench_gates: ROADMAP.md cites no BENCH_*.json files — nothing to check" >&2
+    exit 1
+fi
+
+for f in $refs; do
+    if [ ! -f "$root/$f" ]; then
+        echo "MISSING  $f (cited in ROADMAP.md, not on file)"
+        status=1
+        continue
+    fi
+    if grep -q '"pass": *false' "$root/$f"; then
+        echo "WARN     $f (committed with \"pass\": false — regenerate on a quiet machine)"
+    else
+        echo "ok       $f"
+    fi
+done
+
+# The reverse direction: a committed gate file the ROADMAP does not cite is
+# probably a stale artifact or a missing ROADMAP entry. Advisory only.
+for path in "$root"/BENCH_*.json; do
+    [ -e "$path" ] || continue
+    f=$(basename "$path")
+    case " $refs " in
+        *" $f "*) ;;
+        *) echo "UNCITED  $f (on file but not in ROADMAP.md's gate list)" ;;
+    esac
+done
+
+exit $status
