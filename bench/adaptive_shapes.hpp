@@ -1,0 +1,153 @@
+// Shared communication shapes for the adaptive-protocol benchmarks.
+//
+// bench_ablation_rendezvous sweeps static thresholds over these shapes and
+// reports each shape's optimal static threshold; bench_adaptive runs the
+// same shapes with the simulator's online cost model and gates its
+// steady-state makespan against that optimum. Keeping the shape and sweep
+// definitions in one header makes "within one size class of the ablation's
+// optimum" a statement both binaries compute identically.
+//
+// All shapes run on the paper testbed (copy at 0.00025 us/B, handshake
+// 9.4 us), where the analytic eager/rendezvous crossover sits at
+// handshake / copy = 37 600 bytes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netsim/sim.hpp"
+
+namespace adaptive_shapes {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+/// The static sweep grid every consumer shares (same grid as the original
+/// threshold ablation, so historical numbers stay comparable).
+constexpr std::size_t kThresholdGrid[] = {0,      1024,    8192, 32768,
+                                          262144, 2097152, kNever};
+
+/// A shape is a per-(src, dst) volume function over `nprocs` ranks,
+/// exchanged `rounds` times (every rank sends to and receives from every
+/// peer with a nonzero volume each round). Rounds amortize the adaptive
+/// model's warmup so the measurement reflects steady state.
+struct Shape {
+    const char* name;
+    int nprocs;
+    int rounds;
+    std::uint64_t (*volume)(int src, int dst);
+};
+
+// -- Volume functions -------------------------------------------------------
+// Fig. 15-like alltoallw mixes: a nonuniform sparse pattern whose per-peer
+// volumes straddle the crossover, plus uniform controls on either side of
+// it. Fig. 16-like VecScatter: a halo pattern — bulk traffic to lattice
+// neighbours, slivers to everyone adjacent in rank order.
+
+inline std::uint64_t vol_uniform_small(int src, int dst) {
+    return src == dst ? 0 : 4096;
+}
+inline std::uint64_t vol_uniform_large(int src, int dst) {
+    return src == dst ? 0 : 262144;
+}
+inline std::uint64_t vol_fig15_nonuniform(int src, int dst) {
+    if (src == dst) return 0;
+    // Most pairs exchange control-sized messages; every third peer gets a
+    // bulk payload — the nonuniform volume distribution of the paper's
+    // sparse-matrix alltoallw.
+    const int d = (dst - src + 64) % 3;
+    if (d == 0) return 1048576;
+    if (d == 1) return 16384;
+    return 512;
+}
+inline std::uint64_t vol_fig16_halo(int src, int dst) {
+    if (src == dst) return 0;
+    const int dist = src > dst ? src - dst : dst - src;
+    if (dist == 1) return 393216;  // face neighbour: bulk strided halo
+    if (dist == 2) return 6144;    // edge neighbour: thin halo
+    return 0;
+}
+
+inline const Shape* shapes(std::size_t* count) {
+    static const Shape kShapes[] = {
+        {"fig15_nonuniform", 8, 48, vol_fig15_nonuniform},
+        {"fig16_halo", 8, 48, vol_fig16_halo},
+        {"uniform_small", 4, 64, vol_uniform_small},
+        {"uniform_large", 4, 64, vol_uniform_large},
+    };
+    *count = sizeof(kShapes) / sizeof(kShapes[0]);
+    return kShapes;
+}
+
+/// One program per rank: per round, post all sends then all receives.
+/// Simulator sends never block, so the order is deadlock-free.
+inline std::vector<nncomm::sim::RankProgram> build_programs(const Shape& s) {
+    namespace sim = nncomm::sim;
+    std::vector<sim::RankProgram> progs(static_cast<std::size_t>(s.nprocs));
+    for (int t = 0; t < s.rounds; ++t) {
+        for (int r = 0; r < s.nprocs; ++r) {
+            auto& p = progs[static_cast<std::size_t>(r)];
+            for (int d = 0; d < s.nprocs; ++d) {
+                if (s.volume(r, d) > 0) p.push_back(sim::Op::send(d, t, s.volume(r, d)));
+            }
+            for (int d = 0; d < s.nprocs; ++d) {
+                if (s.volume(d, r) > 0) p.push_back(sim::Op::recv(d, t));
+            }
+        }
+    }
+    return progs;
+}
+
+inline nncomm::sim::ClusterConfig shape_cluster(const Shape& s) {
+    // No injected skew: these gates compare protocol policies, not noise.
+    return nncomm::sim::make_paper_testbed(s.nprocs, /*skew_us_mean=*/0.0);
+}
+
+inline nncomm::sim::SimResult run_static(const Shape& s, std::size_t threshold) {
+    auto cluster = shape_cluster(s);
+    cluster.rendezvous_threshold = threshold;
+    return nncomm::sim::Simulator(cluster).run(build_programs(s));
+}
+
+inline nncomm::sim::SimResult run_adaptive(const Shape& s) {
+    auto cluster = shape_cluster(s);
+    cluster.adaptive_protocol = true;  // fallback stays the 32 KiB default
+    return nncomm::sim::Simulator(cluster).run(build_programs(s));
+}
+
+/// Sweeps the grid and returns the best static threshold (argmin makespan).
+inline std::size_t best_static_threshold(const Shape& s, double* best_makespan) {
+    double best = 0.0;
+    std::size_t best_thr = 0;
+    for (std::size_t thr : kThresholdGrid) {
+        const double mk = run_static(s, thr).makespan_us;
+        if (best == 0.0 || mk < best) {
+            best = mk;
+            best_thr = thr;
+        }
+    }
+    if (best_makespan != nullptr) *best_makespan = best;
+    return best_thr;
+}
+
+/// The paper testbed's analytic crossover: one saved copy outgrows the
+/// handshake at handshake / copy bytes.
+inline std::uint64_t analytic_crossover(const nncomm::sim::ClusterConfig& c) {
+    if (c.copy_us_per_byte <= 0.0) return kNever;
+    return static_cast<std::uint64_t>(c.rendezvous_handshake_us / c.copy_us_per_byte);
+}
+
+/// "Within one size class": the benchmark size grids step by powers of
+/// four, so a learned threshold is converged when it lands within a factor
+/// of four of the target.
+inline bool within_one_size_class(std::uint64_t learned, std::uint64_t target) {
+    if (learned == 0 || target == 0) return false;
+    return learned * 4 >= target && learned <= target * 4;
+}
+
+inline std::string threshold_name(std::size_t thr) {
+    return thr == kNever ? "never" : std::to_string(thr);
+}
+
+}  // namespace adaptive_shapes

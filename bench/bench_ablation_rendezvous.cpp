@@ -16,10 +16,12 @@
 // at small sizes (the posted-queue probe is cheap but so is the copy),
 // approaching 2x once the payload dwarfs the synchronization.
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "bench/adaptive_shapes.hpp"
 #include "bench/common.hpp"
 #include "netsim/sim.hpp"
 #include "runtime/comm.hpp"
@@ -96,8 +98,9 @@ double pingpong_ms(std::size_t bytes, std::size_t threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
     std::printf("== Ablation: rendezvous threshold ==\n\n");
     std::printf("simulator, paper testbed: rank 0 pingpongs a log-uniform mix\n"
@@ -124,17 +127,65 @@ int main() {
                 best_thr == kNever ? "never" : std::to_string(best_thr).c_str(),
                 static_cast<unsigned long long>(rt::kDefaultRendezvousThreshold));
 
-    std::printf("\nreal runtime: pre-posted pingpong, always-eager vs always-rendezvous\n\n");
-    benchutil::Table rt_tab({"Bytes", "Eager (ms)", "Rendezvous (ms)", "Speedup"});
-    for (std::size_t bytes : {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 15,
-                              std::size_t{1} << 17, std::size_t{1} << 20, std::size_t{1} << 22}) {
-        const double eager = pingpong_ms(bytes, kNever);
-        const double rdv = pingpong_ms(bytes, 0);
-        rt_tab.add_row({std::to_string(bytes), benchutil::fmt(eager, 4),
-                        benchutil::fmt(rdv, 4),
-                        benchutil::fmt(rdv > 0.0 ? eager / rdv : 0.0, 2)});
+    // Per-shape static optimum over the shared adaptive_shapes sweep —
+    // this is the number bench_adaptive gates its learned thresholds
+    // against ("converged within one size class of the ablation's
+    // optimum"), so it goes into the JSON report rather than only the
+    // human-readable table.
+    std::printf("\nper-shape optimal static threshold (shared adaptive_shapes sweep)\n\n");
+    std::size_t nshapes = 0;
+    const adaptive_shapes::Shape* shapes = adaptive_shapes::shapes(&nshapes);
+    struct ShapeOpt {
+        const char* name;
+        std::size_t threshold;
+        double makespan_us;
+    };
+    std::vector<ShapeOpt> shape_opts;
+    benchutil::Table shape_tab({"Shape", "Best threshold", "Makespan (us)"});
+    for (std::size_t i = 0; i < nshapes; ++i) {
+        double mk = 0.0;
+        const std::size_t thr = adaptive_shapes::best_static_threshold(shapes[i], &mk);
+        shape_opts.push_back({shapes[i].name, thr, mk});
+        shape_tab.add_row({shapes[i].name, adaptive_shapes::threshold_name(thr),
+                           benchutil::fmt(mk, 1)});
     }
-    rt_tab.print();
+    shape_tab.print();
+
+    if (!smoke) {
+        std::printf(
+            "\nreal runtime: pre-posted pingpong, always-eager vs always-rendezvous\n\n");
+        benchutil::Table rt_tab({"Bytes", "Eager (ms)", "Rendezvous (ms)", "Speedup"});
+        for (std::size_t bytes :
+             {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 15,
+              std::size_t{1} << 17, std::size_t{1} << 20, std::size_t{1} << 22}) {
+            const double eager = pingpong_ms(bytes, kNever);
+            const double rdv = pingpong_ms(bytes, 0);
+            rt_tab.add_row({std::to_string(bytes), benchutil::fmt(eager, 4),
+                            benchutil::fmt(rdv, 4),
+                            benchutil::fmt(rdv > 0.0 ? eager / rdv : 0.0, 2)});
+        }
+        rt_tab.print();
+    }
+
+    FILE* f = std::fopen("BENCH_ablation_rendezvous.json", "w");
+    if (f) {
+        std::fprintf(f, "{\n  \"bench\": \"ablation_rendezvous\",\n");
+        std::fprintf(f, "  \"mix_best_threshold\": %llu,\n",
+                     static_cast<unsigned long long>(best_thr == kNever ? 0 : best_thr));
+        std::fprintf(f, "  \"mix_best_makespan_us\": %.1f,\n", best);
+        std::fprintf(f, "  \"per_shape_optimal\": [\n");
+        for (std::size_t i = 0; i < shape_opts.size(); ++i) {
+            std::fprintf(
+                f, "    { \"shape\": \"%s\", \"threshold\": %llu, \"makespan_us\": %.1f }%s\n",
+                shape_opts[i].name,
+                static_cast<unsigned long long>(
+                    shape_opts[i].threshold == kNever ? 0 : shape_opts[i].threshold),
+                shape_opts[i].makespan_us, i + 1 < shape_opts.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote BENCH_ablation_rendezvous.json\n");
+    }
 
     std::printf("\nbelow the threshold the saved copy is cheaper than the handshake the\n"
                 "simulator charges (and noise-level in the threaded runtime, where the\n"

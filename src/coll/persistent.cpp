@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "runtime/protocol.hpp"
+
 namespace nncomm::coll {
 
 namespace {
@@ -50,6 +52,10 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
         /// same threshold): after posting this receive, the schedule sends
         /// the source a zero-byte clear-to-send so the payload send always
         /// finds the receive posted and the single-copy path never races.
+        /// Under adaptive protocol selection the sender's learned threshold
+        /// is private to its pair state, so the mirror is unavailable —
+        /// every nonzero receive emits a clear-to-send instead, and eager
+        /// senders consume the token without depending on it.
         bool cts;
     };
     std::vector<SendPeer> sends;
@@ -59,11 +65,29 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
     std::size_t self_i = 0;
     std::uint64_t self_vol = 0;
 
+    // Adaptive plans freeze their per-peer protocol choices in the
+    // process-wide tune cache, keyed by the pattern signature: same
+    // communicator shape, same volumes, same layouts => same frozen
+    // choices for the lifetime of the process, no matter how the online
+    // estimates drift between plan constructions.
+    const bool adaptive = comm.adaptive_protocol_engaged();
+    std::uint64_t sig = rt::proto_sig_mix(0, static_cast<std::uint64_t>(comm.context_id()));
+    sig = rt::proto_sig_mix(sig, static_cast<std::uint64_t>(rank));
+    sig = rt::proto_sig_mix(sig, n);
+    sig = rt::proto_sig_mix(sig, comm.rendezvous_threshold());
+    sig = rt::proto_sig_mix(sig, config.small_msg_threshold);
+
     for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t svol =
             static_cast<std::uint64_t>(sendcounts[i]) * sendtypes[i].size();
         const std::uint64_t rvol =
             static_cast<std::uint64_t>(recvcounts[i]) * recvtypes[i].size();
+        if (adaptive) {
+            sig = rt::proto_sig_mix(sig, svol);
+            sig = rt::proto_sig_mix(sig, rvol);
+            if (svol > 0) sig = rt::proto_sig_mix(sig, sendtypes[i].plan().signature());
+            if (rvol > 0) sig = rt::proto_sig_mix(sig, recvtypes[i].plan().signature());
+        }
         if (static_cast<int>(i) == rank) {
             NNCOMM_CHECK_MSG(svol == rvol, "AlltoallwPlan: self send/recv volume mismatch");
             if (svol > 0) {
@@ -77,7 +101,10 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             // Boundary contract shared with try_rendezvous / phase_protocol
             // / netsim: rendezvous iff nonempty AND svol >= threshold. The
             // svol > 0 guard above supplies the nonempty half; exactly-at-
-            // threshold volumes go rendezvous on every layer.
+            // threshold volumes go rendezvous on every layer. Adaptive
+            // plans overwrite the proto after the binned sort, from the
+            // tune cache (the sort keys — bytes, rank — never depend on
+            // it).
             sends.push_back({static_cast<int>(i), sendcounts[i], sdispls[i], sendtypes[i],
                              svol,
                              svol >= comm.rendezvous_threshold() ? rt::Protocol::Rendezvous
@@ -90,7 +117,7 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             // same uniformity every collective already demands of its
             // arguments).
             recvs.push_back({static_cast<int>(i), recvcounts[i], rdispls[i], recvtypes[i],
-                             rvol, rvol >= comm.rendezvous_threshold()});
+                             rvol, adaptive || rvol >= comm.rendezvous_threshold()});
         }
     }
 
@@ -107,6 +134,34 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
     });
     send_peers_ = sends.size();
     recv_peers_ = recvs.size();
+
+    // Adaptive protocol resolution, after the sort so frozen entries map
+    // positionally onto the binned send order. First plan with this
+    // signature consults the learned per-pair thresholds and freezes the
+    // outcome (first-wins); every later plan — and every re-execution —
+    // adopts the frozen entry bit-for-bit, so protocol choices never change
+    // under an executing pattern.
+    if (adaptive) {
+        auto& cache = rt::ProtoTuneCache::instance();
+        auto frozen = cache.lookup(sig);
+        if (!frozen) {
+            rt::ProtoTuneCache::Entry entry;
+            entry.send_rdzv.reserve(sends.size());
+            entry.thresholds.reserve(sends.size());
+            for (const SendPeer& p : sends) {
+                const std::size_t thr = comm.effective_rendezvous_threshold(p.rank, p.type);
+                entry.thresholds.push_back(thr);
+                entry.send_rdzv.push_back(p.bytes >= thr ? 1 : 0);
+            }
+            frozen = cache.freeze(sig, std::move(entry));
+        }
+        NNCOMM_CHECK_MSG(frozen->send_rdzv.size() == sends.size(),
+                         "AlltoallwPlan: tune-cache signature collision");
+        for (std::size_t k = 0; k < sends.size(); ++k) {
+            sends[k].proto =
+                frozen->send_rdzv[k] ? rt::Protocol::Rendezvous : rt::Protocol::Eager;
+        }
+    }
 
     // Compile the schedule. Emission order is execution order for the
     // dep-free prefix: typed receives post first, then the clear-to-sends
@@ -159,7 +214,12 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
         any_rdv = any_rdv || rdv;
 
         int cts_idx = -1;
-        if (rdv) {
+        if (rdv || adaptive) {
+            // Rendezvous packs wait for the token; under adaptive
+            // selection the receiver sends one for *every* nonzero peer
+            // (it cannot see this rank's learned threshold), so eager
+            // sends post a matching receive purely to consume it — no
+            // dependency, no orphaned token aliasing a later execution.
             ScheduleOp cts;
             cts.kind = ScheduleOpKind::Recv;
             cts.peer = p.rank;
@@ -177,7 +237,7 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
         pk.type = p.type;
         pk.slot = static_cast<int>(k);
         pk.bytes = p.bytes;
-        if (cts_idx >= 0) pk.deps = {cts_idx};
+        if (rdv && cts_idx >= 0) pk.deps = {cts_idx};
         s.ops.push_back(std::move(pk));
         const int pack_idx = static_cast<int>(s.ops.size()) - 1;
 

@@ -46,6 +46,14 @@ struct SimResult {
     std::uint64_t messages = 0;     ///< total messages delivered
     std::uint64_t bytes = 0;        ///< total payload bytes moved
     std::uint64_t rendezvous_messages = 0;  ///< sends that rode the rendezvous cost path
+
+    // Adaptive protocol selection (config.adaptive_protocol): observation
+    // count plus the smallest / largest / last effective threshold any
+    // send consulted — zero when adaptation is off.
+    std::uint64_t adaptive_updates = 0;
+    std::uint64_t threshold_bytes_lo = 0;
+    std::uint64_t threshold_bytes_hi = 0;
+    std::uint64_t threshold_bytes_last = 0;
 };
 
 class Simulator {

@@ -389,6 +389,14 @@ struct WorldState {
 
     PayloadPool pool;  ///< recycled buffered-eager payload buffers
 
+    /// Per-(src, dst)-pair protocol cost models (protocol.hpp). Lines are
+    /// single-writer (sender thread feeds eager_send/rdzv, receiver thread
+    /// feeds eager_unpack), fits are read lock-free from the send path.
+    std::unique_ptr<ProtoTable> proto;
+    /// When enabled, replaces measured durations with the analytic model
+    /// (set before run(), read-only during one).
+    SyntheticProtoCosts synthetic;
+
     // Delivery engine state, sharded per destination.
     std::vector<std::unique_ptr<DestQueue>> destq;
     std::atomic<std::uint64_t> inflight_count{0};
@@ -580,7 +588,39 @@ constexpr auto kSleepSlice = std::chrono::microseconds(200);
 /// always timed — their chunks amortize the clock.
 constexpr std::size_t kTimedCopyMinBytes = 4096;
 
+/// Messages below this size never feed the protocol cost model: the two
+/// clock reads would outweigh the copy being measured, and the learned
+/// threshold is clamped above this anyway (ProtoTable::kMinThreshold).
+constexpr std::size_t kAdaptiveObserveMinBytes = 1024;
+
+/// One cost-model observation in nanoseconds: the measured duration, or the
+/// analytic value when the world runs synthetic protocol costs.
+double observed_ns(const WorldState& world, double base_ns, double per_byte_ns,
+                   std::size_t bytes, std::chrono::steady_clock::time_point t0) {
+    if (world.synthetic.enabled) {
+        return base_ns + per_byte_ns * static_cast<double>(bytes);
+    }
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             t0)
+            .count());
+}
+
 }  // namespace
+
+std::size_t Comm::effective_rendezvous_threshold(int dest, const dt::Datatype& type) {
+    std::size_t thr = rendezvous_threshold_;
+    if (adaptive_protocol_engaged()) {
+        thr = world_->proto->learned_threshold(rank_, dest, family_of(type),
+                                               rendezvous_threshold_);
+    }
+    if (thr > counters_.rt_proto_threshold_bytes_hi) counters_.rt_proto_threshold_bytes_hi = thr;
+    if (counters_.rt_proto_threshold_bytes_lo == 0 ||
+        thr < counters_.rt_proto_threshold_bytes_lo) {
+        counters_.rt_proto_threshold_bytes_lo = thr;
+    }
+    return thr;
+}
 
 int Comm::size() const { return world_->nranks; }
 
@@ -743,7 +783,7 @@ Request Comm::irecv(void* buf, std::size_t count, const dt::Datatype& type, int 
 /// The payload buffer comes from this rank's pool cache; zero-byte messages
 /// never touch the pool or the allocator at all.
 Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
-                             int tag, int context, std::size_t total) {
+                             int dest, int tag, int context, std::size_t total) {
     NNCOMM_CHECK(type.valid());
     Envelope env;
     env.source = rank_;
@@ -751,6 +791,13 @@ Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datat
     env.context = context;
 
     if (total == 0) return env;  // header-only: zero-byte sends are pure synchronization
+
+    // Feed the eager_send cost line: the staging copy below is exactly the
+    // sender-side cost the eager protocol pays that rendezvous avoids.
+    const bool observe =
+        total >= kAdaptiveObserveMinBytes && adaptive_protocol_engaged();
+    std::chrono::steady_clock::time_point t0;
+    if (observe && !world_->synthetic.enabled) t0 = std::chrono::steady_clock::now();
 
     env.payload = world_->pool.acquire(total, rank_, counters_);
     counters_.rt_bytes_copied += total;  // sender-side staging copy
@@ -791,6 +838,13 @@ Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datat
         timers_ += engine->timers();
         counters_ += engine->counters();
     }
+    if (observe) {
+        const auto& syn = world_->synthetic;
+        world_->proto->observe_eager_send(
+            rank_, dest, family_of(type), static_cast<double>(total),
+            observed_ns(*world_, syn.eager_send_base_ns, syn.eager_send_per_byte_ns, total, t0));
+        ++counters_.rt_proto_adapt_updates;
+    }
     return env;
 }
 
@@ -821,7 +875,16 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
     // bytes attempts rendezvous; a zero-byte message never does, even at
     // threshold 0.
     if (total == 0) return false;
-    if (proto == Protocol::Auto && total < rendezvous_threshold_) return false;
+    if (proto == Protocol::Auto) {
+        // Auto resolution: the effective threshold is the learned per-pair
+        // crossover when adaptation is engaged and confident, the static
+        // communicator threshold otherwise.
+        if (total < effective_rendezvous_threshold(dest, type)) {
+            ++counters_.rt_proto_eager_chosen;
+            return false;
+        }
+        ++counters_.rt_proto_rdzv_chosen;
+    }
     NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
 
     Envelope header;
@@ -841,6 +904,13 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
     if (!r) return false;  // unposted: degrade to buffered eager
     const auto& rflat = r->type.flat();
     NNCOMM_CHECK_MSG(total <= rflat.size() * r->count, "message longer than receive buffer");
+
+    // Feed the rdzv cost line: the single direct pass below is the whole
+    // marginal cost the rendezvous protocol pays once the claim succeeded.
+    const bool observe =
+        total >= kAdaptiveObserveMinBytes && adaptive_protocol_engaged();
+    std::chrono::steady_clock::time_point t0;
+    if (observe && !world_->synthetic.enabled) t0 = std::chrono::steady_clock::now();
 
     // The copy runs while posted_mu pins the request: the receiver's wait()
     // cannot observe a half-written buffer (matched is still false), an
@@ -935,6 +1005,14 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
         counters_ += engine->counters();
     }
 
+    if (observe) {
+        const auto& syn = world_->synthetic;
+        world_->proto->observe_rdzv(
+            rank_, dest, family_of(type), static_cast<double>(total),
+            observed_ns(*world_, syn.rdzv_base_ns, syn.rdzv_per_byte_ns, total, t0));
+        ++counters_.rt_proto_adapt_updates;
+    }
+
     r->env = std::move(header);  // header only: carries source/tag for RecvStatus
     r->direct_bytes = total;
     r->zero_copy = true;
@@ -943,6 +1021,94 @@ bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype
     detail::pulse(box, counters_, /*notify=*/true);
     ++counters_.rt_zero_copy_msgs;
     counters_.rt_bytes_copied += total;  // the single pass
+    return true;
+}
+
+/// Chunk-pipelined rendezvous for producer-driven staged sends: the fused
+/// Pack+Send path of coll::CollRequest. Claim logic is identical to
+/// try_rendezvous (same FIFO guard, same PRQ claim under posted_mu, same
+/// degradation rules); the difference is the copy loop — instead of packing
+/// the whole payload into a staging buffer and then copying it cold, the
+/// producer fills one pipeline_chunk-sized slice at the front of `stage`
+/// and the slice is copied (or scattered) into the receiver's buffer while
+/// its bytes are still cache-hot, so the pack of chunk k+1 overlaps the
+/// copy of chunk k through the cache hierarchy.
+bool Comm::try_rendezvous_staged_i(
+    int dest, int tag, std::size_t total, PackFamily family, std::span<std::byte> stage,
+    const std::function<void(std::uint64_t, std::span<std::byte>)>& produce) {
+    if (world_->policy.enabled) return false;  // all policy traffic routes buffered
+    if (total == 0) return false;
+    NNCOMM_CHECK_MSG(dest >= 0 && dest < size(), "send to invalid rank");
+    NNCOMM_CHECK_MSG(!stage.empty(), "pipelined rendezvous needs a staging window");
+    const int context = context_ + detail::kInternalContextOffset;
+
+    Envelope header;
+    header.source = rank_;
+    header.tag = tag;
+    header.context = context;
+
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(dest)];
+    detail::Lane& lane = box.lanes[static_cast<std::size_t>(rank_)];
+    if (lane.unconsumed.load(std::memory_order_acquire) != 0) {
+        return false;  // older messages of ours still in flight: keep FIFO
+    }
+
+    std::unique_lock<std::mutex> lk(box.posted_mu);
+    ++counters_.rt_lock_acquisitions;
+    std::shared_ptr<RequestState> r = detail::match_prq(box, header);
+    if (!r) return false;  // unposted: caller stages and sends buffered
+    const auto& rflat = r->type.flat();
+    NNCOMM_CHECK_MSG(total <= rflat.size() * r->count, "message longer than receive buffer");
+
+    const bool observe =
+        total >= kAdaptiveObserveMinBytes && adaptive_protocol_engaged();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const bool rdense =
+        rflat.contiguous() && static_cast<std::ptrdiff_t>(rflat.size()) == rflat.extent();
+    auto* rbase = static_cast<std::byte*>(r->buf);
+    const std::size_t chunk = engine_config_.pipeline_chunk > 0
+                                  ? std::min(engine_config_.pipeline_chunk, stage.size())
+                                  : stage.size();
+    dt::TypeCursor cur(&rflat, r->count);  // used only off the plan fastpath
+    std::uint64_t chunks = 0;
+    for (std::size_t pos = 0; pos < total; pos += chunk) {
+        const std::size_t n = std::min(chunk, total - pos);
+        std::span<std::byte> slice = stage.first(n);
+        produce(static_cast<std::uint64_t>(pos), slice);
+        const std::span<const std::byte> piece(slice.data(), n);
+        if (rdense) {
+            std::memcpy(rbase + pos, piece.data(), n);
+        } else if (engine_config_.enable_plan_fastpath) {
+            r->type.plan().unpack_range(rflat, rbase, r->count, pos, piece, &counters_);
+        } else {
+            const std::size_t u = dt::unpack_bytes(rbase, cur, piece);
+            NNCOMM_CHECK(u == n);
+        }
+        ++chunks;
+    }
+    timers_.add_ns(Phase::Comm,
+                   static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                  std::chrono::steady_clock::now() - t0)
+                                                  .count()));
+    if (observe) {
+        const auto& syn = world_->synthetic;
+        world_->proto->observe_rdzv(
+            rank_, dest, family, static_cast<double>(total),
+            observed_ns(*world_, syn.rdzv_base_ns, syn.rdzv_per_byte_ns, total, t0));
+        ++counters_.rt_proto_adapt_updates;
+    }
+
+    r->env = std::move(header);
+    r->direct_bytes = total;
+    r->zero_copy = true;
+    r->matched.store(true, std::memory_order_release);
+    lk.unlock();
+    detail::pulse(box, counters_, /*notify=*/true);
+    ++counters_.rt_zero_copy_msgs;
+    ++counters_.rt_rdzv_pipelined_msgs;
+    counters_.rt_rdzv_pipelined_chunks += chunks;
+    counters_.rt_bytes_copied += total;  // the copy-out pass
     return true;
 }
 
@@ -959,7 +1125,7 @@ void Comm::send_ctx(const void* buf, std::size_t count, const dt::Datatype& type
         // and push straight onto the destination lane, no request state.
         const std::size_t total = type.size() * count;
         if (try_rendezvous(buf, count, type, dest, tag, context, proto, total)) return;
-        Envelope env = pack_envelope(buf, count, type, tag, context, total);
+        Envelope env = pack_envelope(buf, count, type, dest, tag, context, total);
         detail::deliver_lane(*world_, dest, std::move(env), counters_);
         return;
     }
@@ -977,12 +1143,12 @@ Request Comm::isend_ctx(const void* buf, std::size_t count, const dt::Datatype& 
         // so the request is born complete and the shared singleton serves.
         const std::size_t total = type.size() * count;
         if (!try_rendezvous(buf, count, type, dest, tag, context, proto, total)) {
-            Envelope env = pack_envelope(buf, count, type, tag, context, total);
+            Envelope env = pack_envelope(buf, count, type, dest, tag, context, total);
             detail::deliver_lane(*world_, dest, std::move(env), counters_);
         }
         return Request(world_->done_send);
     }
-    Envelope env = pack_envelope(buf, count, type, tag, context, type.size() * count);
+    Envelope env = pack_envelope(buf, count, type, dest, tag, context, type.size() * count);
     auto req = std::make_shared<RequestState>();
     req->kind = RequestState::Kind::Send;
     req->owner_rank = rank_;
@@ -1162,6 +1328,14 @@ RecvStatus Comm::finish_recv(RequestState& req) {
     NNCOMM_CHECK_MSG(req.env.payload.size() <= capacity, "message longer than receive buffer");
     if (!req.env.payload.empty()) {
         counters_.rt_bytes_copied += req.env.payload.size();  // receive-side copy
+        // Feed the eager_unpack cost line: the copy below is the
+        // receiver-side half of the eager protocol's double copy. This
+        // rank's thread is the line's single writer.
+        const std::size_t total = req.env.payload.size();
+        const bool observe =
+            total >= kAdaptiveObserveMinBytes && adaptive_protocol_engaged();
+        std::chrono::steady_clock::time_point t0;
+        if (observe && !world_->synthetic.enabled) t0 = std::chrono::steady_clock::now();
         if (flat.contiguous() && static_cast<std::ptrdiff_t>(flat.size()) == flat.extent()) {
             if (req.env.payload.size() >= kTimedCopyMinBytes) {
                 PhaseScope scope(timers_, Phase::Comm);
@@ -1186,6 +1360,14 @@ RecvStatus Comm::finish_recv(RequestState& req) {
                     dt::unpack_bytes(static_cast<std::byte*>(req.buf), cur, payload);
                 NNCOMM_CHECK(n == req.env.payload.size());
             }
+        }
+        if (observe) {
+            const auto& syn = world_->synthetic;
+            world_->proto->observe_eager_unpack(
+                req.env.source, rank_, family_of(req.type), static_cast<double>(total),
+                observed_ns(*world_, syn.eager_unpack_base_ns, syn.eager_unpack_per_byte_ns,
+                            total, t0));
+            ++counters_.rt_proto_adapt_updates;
         }
     }
     req.status.source = req.env.source;
@@ -1389,6 +1571,9 @@ Comm Comm::dup() {
     c.engine_kind_ = engine_kind_;
     c.engine_config_ = engine_config_;
     c.rendezvous_threshold_ = rendezvous_threshold_;
+    c.threshold_pinned_ = threshold_pinned_;
+    c.adaptive_protocol_ = adaptive_protocol_;
+    c.rendezvous_pipeline_ = rendezvous_pipeline_;
     return c;
 }
 
@@ -1423,6 +1608,7 @@ World::World(int nranks) : nranks_(nranks), state_(std::make_unique<WorldState>(
         state_->destq.push_back(std::make_unique<detail::DestQueue>());
     }
     state_->pool.init(nranks);
+    state_->proto = std::make_unique<ProtoTable>(nranks);
     state_->done_send = std::make_shared<RequestState>();
     state_->done_send->kind = RequestState::Kind::Send;
     state_->done_send->delivered.store(true, std::memory_order_release);
@@ -1438,6 +1624,19 @@ const SchedulePolicy& World::schedule() const { return state_->policy; }
 void World::set_payload_pool_budget(std::size_t bytes) { state_->pool.set_budget(bytes); }
 
 std::size_t World::payload_pool_resident_bytes() const { return state_->pool.resident_bytes(); }
+
+void World::set_synthetic_protocol_costs(const SyntheticProtoCosts& costs) {
+    state_->synthetic = costs;
+}
+
+std::size_t World::learned_threshold(int src, int dst, PackFamily family,
+                                     std::size_t fallback) const {
+    return state_->proto->learned_threshold(src, dst, family, fallback);
+}
+
+std::uint64_t World::proto_pair_samples(int src, int dst) const {
+    return state_->proto->pair_samples(src, dst);
+}
 
 void World::run(const std::function<void(Comm&)>& fn) {
     // Reset abort state and clear any residue from a previous run.

@@ -75,6 +75,7 @@
 #include "core/counters.hpp"
 #include "core/error.hpp"
 #include "datatype/engine.hpp"
+#include "runtime/protocol.hpp"
 #include "runtime/schedule.hpp"
 
 namespace nncomm::rt {
@@ -170,9 +171,47 @@ public:
     const dt::EngineConfig& engine_config() const { return engine_config_; }
     /// Message size (bytes) at which Protocol::Auto sends attempt the
     /// zero-copy rendezvous path. 0 makes every nonempty send attempt it;
-    /// SIZE_MAX disables the protocol for this communicator.
-    void set_rendezvous_threshold(std::size_t bytes) { rendezvous_threshold_ = bytes; }
+    /// SIZE_MAX disables the protocol for this communicator. Setting an
+    /// explicit threshold PINS static protocol selection (adaptation
+    /// disengages), so tests and workloads that reason about exact protocol
+    /// counts keep their determinism; a later set_adaptive_protocol(true)
+    /// re-engages adaptation with this value as the fallback.
+    void set_rendezvous_threshold(std::size_t bytes) {
+        rendezvous_threshold_ = bytes;
+        threshold_pinned_ = true;
+    }
     std::size_t rendezvous_threshold() const { return rendezvous_threshold_; }
+
+    /// Per-(src, dst)-pair self-tuning protocol selection (protocol.hpp):
+    /// when engaged, Protocol::Auto resolves against the learned
+    /// eager/rendezvous cost crossover for (this rank, dest, pack family)
+    /// instead of the static threshold, which remains the fallback while
+    /// the cost model is under-sampled. On by default; disengaged by an
+    /// explicit set_rendezvous_threshold, the NNCOMM_ADAPTIVE=OFF env var,
+    /// or the NNCOMM_ADAPTIVE CMake option. An explicit
+    /// set_adaptive_protocol(true) overrides a prior threshold pin.
+    void set_adaptive_protocol(bool on) {
+        adaptive_protocol_ = on;
+        if (on) threshold_pinned_ = false;
+    }
+    bool adaptive_protocol() const { return adaptive_protocol_; }
+    /// True when Auto sends actually consult the learned cost model.
+    bool adaptive_protocol_engaged() const {
+        return kAdaptiveCompiled && adaptive_protocol_ && !threshold_pinned_ &&
+               adaptive_runtime_enabled();
+    }
+    /// The threshold a Protocol::Auto send to `dest` with layout `type`
+    /// resolves against right now: the learned crossover when adaptation is
+    /// engaged and confident, the static threshold otherwise. Updates the
+    /// rt_proto_threshold_bytes_{hi,lo} water marks.
+    std::size_t effective_rendezvous_threshold(int dest, const dt::Datatype& type);
+
+    /// Chunk-pipelined rendezvous for staged collective sends (on by
+    /// default): packing chunk k+1 overlaps the copy-out of chunk k through
+    /// a small cache-hot window instead of staging the whole payload first.
+    /// coll::CollRequest consults this before fusing a Pack+Send op pair.
+    void set_rendezvous_pipeline(bool on) { rendezvous_pipeline_ = on; }
+    bool rendezvous_pipeline() const { return rendezvous_pipeline_; }
 
     // -- blocking point-to-point ---------------------------------------------
     void send(const void* buf, std::size_t count, const dt::Datatype& type, int dest, int tag);
@@ -238,6 +277,28 @@ public:
     /// drives its consensus loop with this.
     ProbeStatus iprobe_i(int source, int tag);
 
+    /// Chunk-pipelined internal-context rendezvous for producer-driven
+    /// staged sends (coll::CollRequest's fused Pack+Send path). If the
+    /// matching receive is already posted, streams the payload in
+    /// engine_config().pipeline_chunk slices: each slice is produced into
+    /// the front of `stage` (produce(pos, slice) must fill slice with
+    /// payload bytes [pos, pos + slice.size())) and immediately copied or
+    /// scattered into the receiver's buffer while the source bytes are
+    /// still cache-hot — pack of chunk k+1 overlaps the copy of chunk k
+    /// instead of a serial whole-message pack-then-copy. Returns false
+    /// (caller falls back to pack-into-staging + isend_i) when the receive
+    /// is unposted, a SchedulePolicy is active, total == 0, or FIFO order
+    /// would be violated — exactly try_rendezvous's degradation rules.
+    /// `family` attributes the cost-model observation.
+    bool try_rendezvous_staged_i(
+        int dest, int tag, std::size_t total, PackFamily family, std::span<std::byte> stage,
+        const std::function<void(std::uint64_t, std::span<std::byte>)>& produce);
+
+    /// Matching-context ordinal of this communicator (stable across ranks:
+    /// dup trees are numbered deterministically). Keys the ProtoTuneCache's
+    /// per-(communicator, pattern) frozen protocol choices.
+    int context_id() const { return context_; }
+
     // -- convenience typed sends (contiguous arrays) --------------------------
     template <typename T>
     void send_n(const T* buf, std::size_t n, int dest, int tag) {
@@ -284,7 +345,7 @@ private:
     Request isend_ctx(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                       int tag, int context, Protocol proto = Protocol::Auto);
     detail::Envelope pack_envelope(const void* buf, std::size_t count, const dt::Datatype& type,
-                                   int tag, int context, std::size_t total);
+                                   int dest, int tag, int context, std::size_t total);
     bool try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                         int tag, int context, Protocol proto, std::size_t total);
     /// Returns a fresh receive request, recycling an idle RequestState from
@@ -312,6 +373,9 @@ private:
     int dup_count_ = 0;  ///< children created from this communicator
     int collective_epoch_ = 0;
     std::size_t rendezvous_threshold_ = kDefaultRendezvousThreshold;
+    bool threshold_pinned_ = false;     ///< explicit threshold: static selection
+    bool adaptive_protocol_ = true;     ///< consult the learned cost model
+    bool rendezvous_pipeline_ = true;   ///< fuse staged Pack+Send op pairs
     dt::EngineKind engine_kind_ = dt::EngineKind::DualContext;
     dt::EngineConfig engine_config_{};
     PhaseTimers timers_;
@@ -353,6 +417,21 @@ public:
     void set_payload_pool_budget(std::size_t bytes);
     /// Bytes currently resident in the shared payload-pool store.
     std::size_t payload_pool_resident_bytes() const;
+
+    /// Replaces measured protocol-cost observations with the analytic model
+    /// `costs` (protocol.hpp): every observation becomes base + per_byte ×
+    /// bytes with no clock reads, so adaptation is a pure deterministic
+    /// function of the message sequence. Must not be called while a run is
+    /// in progress. Determinism tests and benches place the crossover
+    /// exactly with this.
+    void set_synthetic_protocol_costs(const SyntheticProtoCosts& costs);
+    /// The learned rendezvous crossover for (src, dst, family), or
+    /// `fallback` while the pair's cost model is under-sampled.
+    std::size_t learned_threshold(int src, int dst, PackFamily family,
+                                  std::size_t fallback) const;
+    /// Total cost-model observations recorded for the (src, dst) pair
+    /// across all families and lines (determinism tests).
+    std::uint64_t proto_pair_samples(int src, int dst) const;
 
 private:
     int nranks_;
