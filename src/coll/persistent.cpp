@@ -18,6 +18,13 @@ constexpr int kPersistentTagBase = rt::kInternalTagBase + 0x500;
 /// lane is an offset within the persistent tag space (0x500 + 0x80 keeps
 /// the old wire tags bit-for-bit).
 constexpr int kCtsOffset = 0x80;
+/// One-sided plans exchange window offsets exactly once, at plan time, on
+/// this lane (disjoint from the CTS lane; steady state then moves zero
+/// control messages).
+constexpr int kRmaOffsetExchange = 0x100;
+/// Tune-cache marker distinguishing an RMA-available pattern from the same
+/// pattern with RMA gated off ("RMA" in ASCII).
+constexpr std::uint64_t kRmaSigSalt = 0x524d41;
 }  // namespace
 
 AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendcounts,
@@ -135,13 +142,25 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
     send_peers_ = sends.size();
     recv_peers_ = recvs.size();
 
+    // One-sided lowering decision. It MUST be uniform across ranks — the
+    // closing fence is collective, and a rank with zero local traffic
+    // cannot see its peers' volumes — so it is a pure function of the
+    // config and the build/env gates, never of the traffic matrix.
+    // Protocol::Eager / Rendezvous in the config force the two-sided graph.
+    bool use_rma = rt::rma_selection_enabled() &&
+                   (config.persistent_protocol == rt::Protocol::Auto ||
+                    config.persistent_protocol == rt::Protocol::Rma);
+
     // Adaptive protocol resolution, after the sort so frozen entries map
     // positionally onto the binned send order. First plan with this
     // signature consults the learned per-pair thresholds and freezes the
     // outcome (first-wins); every later plan — and every re-execution —
     // adopts the frozen entry bit-for-bit, so protocol choices never change
-    // under an executing pattern.
+    // under an executing pattern. An RMA-lowered pattern freezes the value
+    // 2 for every peer (the salt keeps its signature disjoint from the same
+    // pattern with RMA gated off), and the frozen entry governs reruns.
     if (adaptive) {
+        sig = rt::proto_sig_mix(sig, use_rma ? kRmaSigSalt : 0u);
         auto& cache = rt::ProtoTuneCache::instance();
         auto frozen = cache.lookup(sig);
         if (!frozen) {
@@ -151,16 +170,65 @@ AlltoallwPlan::AlltoallwPlan(rt::Comm& comm, std::span<const std::size_t> sendco
             for (const SendPeer& p : sends) {
                 const std::size_t thr = comm.effective_rendezvous_threshold(p.rank, p.type);
                 entry.thresholds.push_back(thr);
-                entry.send_rdzv.push_back(p.bytes >= thr ? 1 : 0);
+                entry.send_rdzv.push_back(use_rma ? 2 : (p.bytes >= thr ? 1 : 0));
             }
             frozen = cache.freeze(sig, std::move(entry));
         }
         NNCOMM_CHECK_MSG(frozen->send_rdzv.size() == sends.size(),
                          "AlltoallwPlan: tune-cache signature collision");
+        bool frozen_rma = !sends.empty();
         for (std::size_t k = 0; k < sends.size(); ++k) {
-            sends[k].proto =
-                frozen->send_rdzv[k] ? rt::Protocol::Rendezvous : rt::Protocol::Eager;
+            const std::uint8_t v = frozen->send_rdzv[k];
+            frozen_rma = frozen_rma && v == 2;
+            sends[k].proto = v == 2   ? rt::Protocol::Rma
+                             : v != 0 ? rt::Protocol::Rendezvous
+                                      : rt::Protocol::Eager;
         }
+        if (!sends.empty()) use_rma = frozen_rma;
+    }
+    rma_ = use_rma;
+
+    if (use_rma) {
+        // Window layout: one block per source peer, prefix sums of receive
+        // volumes in rank order. Each source learns its offset into this
+        // rank's region (and we learn ours into each destination's) in a
+        // single setup-time exchange; steady state then fuses pack+put into
+        // the peer region with no envelopes, no CTS, and no staging beyond
+        // the self slot.
+        std::vector<std::uint64_t> my_offsets(n, 0);
+        std::uint64_t win_bytes = 0;
+        for (const RecvPeer& p : recvs) {
+            my_offsets[static_cast<std::size_t>(p.rank)] = win_bytes;
+            win_bytes += p.bytes;
+        }
+        win_buf_.resize(static_cast<std::size_t>(win_bytes));
+        win_ = rt::Win::create(comm, win_buf_.data(), win_buf_.size());
+
+        TagSpace xspace(comm, kPersistentTagBase);
+        const int xtag = xspace.tag(kRmaOffsetExchange);
+        const dt::Datatype byte = dt::Datatype::byte();
+        std::vector<std::uint64_t> target_offsets(n, 0);
+        std::vector<rt::Request> xreqs;
+        xreqs.reserve(sends.size() + recvs.size());
+        for (const SendPeer& p : sends) {
+            xreqs.push_back(comm.irecv_i(&target_offsets[static_cast<std::size_t>(p.rank)],
+                                         sizeof(std::uint64_t), byte, p.rank, xtag));
+        }
+        for (const RecvPeer& p : recvs) {
+            xreqs.push_back(comm.isend_i(&my_offsets[static_cast<std::size_t>(p.rank)],
+                                         sizeof(std::uint64_t), byte, p.rank, xtag,
+                                         rt::Protocol::Eager));
+        }
+        for (rt::Request& rq : xreqs) comm.wait(rq);
+
+        request_ = CollRequest(
+            *comm_, build_alltoallw_rma_schedule(rank, static_cast<int>(n), sendcounts,
+                                                 sdispls, sendtypes, recvcounts, rdispls,
+                                                 recvtypes, target_offsets, my_offsets,
+                                                 config.small_msg_threshold));
+        request_.set_window(&win_);
+        request_.set_pack_engine(engine_kind_);
+        return;
     }
 
     // Compile the schedule. Emission order is execution order for the
@@ -279,6 +347,7 @@ void AlltoallwPlan::begin(const void* sendbuf, void* recvbuf) {
     request_.reset();
     StatCounters extra;
     ++extra.persistent_executes;
+    if (rma_) ++extra.coll_rma_plan_executes;
     if (executes_ > 0) ++extra.coll_schedule_cache_hits;
     request_.inject(extra);
     request_.start(sendbuf, recvbuf);

@@ -36,10 +36,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "coll/collectives.hpp"
 #include "coll/schedule.hpp"
 #include "datatype/engine.hpp"
+#include "runtime/win.hpp"
 
 namespace nncomm::coll {
 
@@ -92,6 +94,11 @@ public:
     /// The compiled schedule (inspection / netsim lowering).
     const Schedule& schedule() const { return request_.schedule(); }
 
+    /// True when the plan lowered onto one-sided RMA windows (fused
+    /// pack+Put into the peers' regions, fences for completion) instead of
+    /// the two-sided send/recv graph. Uniform across ranks by construction.
+    bool rma() const { return rma_; }
+
 private:
     rt::Comm* comm_ = nullptr;
     dt::EngineKind engine_kind_;
@@ -100,6 +107,13 @@ private:
     CollRequest request_;  ///< cached compiled schedule + persistent state
     std::size_t send_peers_ = 0;
     std::size_t recv_peers_ = 0;
+
+    /// RMA lowering only: the exposed receive region (one block per source
+    /// peer, rank order) and its window. Peers pack straight into it; the
+    /// round-3 Unpacks scatter it into the user layout.
+    std::vector<std::byte> win_buf_;
+    rt::Win win_;
+    bool rma_ = false;
 
     StatCounters counters_;
     std::size_t executes_ = 0;

@@ -13,6 +13,7 @@
 
 #include "coll/util.hpp"
 #include "datatype/pack.hpp"
+#include "runtime/win.hpp"
 
 namespace nncomm::coll {
 
@@ -323,6 +324,127 @@ Schedule build_alltoallw_schedule(int rank, int nranks, AlltoallwAlgo algo,
     return s;
 }
 
+Schedule build_alltoallw_rma_schedule(int rank, int nranks,
+                                      std::span<const std::size_t> sendcounts,
+                                      std::span<const std::ptrdiff_t> sdispls,
+                                      std::span<const dt::Datatype> sendtypes,
+                                      std::span<const std::size_t> recvcounts,
+                                      std::span<const std::ptrdiff_t> rdispls,
+                                      std::span<const dt::Datatype> recvtypes,
+                                      std::span<const std::uint64_t> target_offsets,
+                                      std::span<const std::uint64_t> my_offsets,
+                                      std::size_t small_msg_threshold) {
+    Schedule s;
+    s.tag_base = kTagAlltoallw;  // no wire tags; kept for lane bookkeeping
+    const int n = nranks;
+    const auto r = static_cast<std::size_t>(rank);
+
+    // Round 0: open the access+exposure epoch. The open fence of execute
+    // k+1 doubles as the consumption barrier for execute k — a rank only
+    // re-enters it after its own round-3 Unpacks retired, so no peer can
+    // overwrite window bytes that are still unread.
+    ScheduleOp open;
+    open.kind = ScheduleOpKind::Fence;
+    open.round = 0;
+    s.ops.push_back(std::move(open));
+    const int open_idx = 0;
+
+    // Round 1: the self block never touches the window (staged through the
+    // one persistent slot, like the two-sided plan), and the remote blocks
+    // keep the binned small-before-large ordering of the two-sided
+    // schedule — each Put is a fused pack straight into the target region.
+    const std::uint64_t self_vol =
+        static_cast<std::uint64_t>(sendcounts[r]) * sendtypes[r].size();
+    if (self_vol > 0) {
+        ScheduleOp cp;
+        cp.kind = ScheduleOpKind::Copy;
+        cp.round = 1;
+        cp.a = {BufRef::Space::Send, sdispls[r]};
+        cp.count = sendcounts[r];
+        cp.type = sendtypes[r];
+        cp.b = {BufRef::Space::Recv, rdispls[r]};
+        cp.bcount = recvcounts[r];
+        cp.btype = recvtypes[r];
+        cp.slot = 0;
+        cp.bytes = self_vol;
+        s.staging.push_back(static_cast<std::size_t>(self_vol));
+        s.ops.push_back(std::move(cp));
+    }
+
+    struct Peer {
+        int rank;
+        std::uint64_t volume;
+    };
+    std::vector<Peer> small_bin, large_bin;
+    for (int dst = 0; dst < n; ++dst) {
+        if (dst == rank) continue;
+        const auto d = static_cast<std::size_t>(dst);
+        const std::uint64_t vol =
+            static_cast<std::uint64_t>(sendcounts[d]) * sendtypes[d].size();
+        if (vol == 0) continue;  // the zero bin: completely exempted
+        (vol < small_msg_threshold ? small_bin : large_bin).push_back({dst, vol});
+    }
+    auto by_volume = [](const Peer& a, const Peer& b) {
+        return a.volume < b.volume || (a.volume == b.volume && a.rank < b.rank);
+    };
+    std::sort(small_bin.begin(), small_bin.end(), by_volume);
+    std::sort(large_bin.begin(), large_bin.end(), by_volume);
+
+    std::vector<int> put_idx;
+    auto push_put = [&](const Peer& p) {
+        const auto d = static_cast<std::size_t>(p.rank);
+        ScheduleOp put;
+        put.kind = ScheduleOpKind::Put;
+        put.round = 1;
+        put.peer = p.rank;
+        put.proto = rt::Protocol::Rma;
+        put.a = {BufRef::Space::Send, sdispls[d]};
+        put.count = sendcounts[d];
+        put.type = sendtypes[d];
+        put.b = {BufRef::Space::Win,
+                 static_cast<std::ptrdiff_t>(target_offsets[d])};
+        put.bytes = p.volume;
+        put.deps = {open_idx};
+        s.ops.push_back(std::move(put));
+        put_idx.push_back(static_cast<int>(s.ops.size()) - 1);
+    };
+    for (const Peer& p : small_bin) push_put(p);
+    for (const Peer& p : large_bin) push_put(p);
+
+    // Round 2: close the epoch. After this fence retires, every peer's
+    // puts into this rank's region are complete and visible.
+    ScheduleOp close;
+    close.kind = ScheduleOpKind::Fence;
+    close.round = 2;
+    close.deps = put_idx;
+    close.deps.push_back(open_idx);
+    s.ops.push_back(std::move(close));
+    const int close_idx = static_cast<int>(s.ops.size()) - 1;
+
+    // Round 3: scatter each source's packed bytes out of this rank's own
+    // window region into the typed receive layout.
+    for (int src = 0; src < n; ++src) {
+        if (src == rank) continue;
+        const auto sr = static_cast<std::size_t>(src);
+        const std::uint64_t vol =
+            static_cast<std::uint64_t>(recvcounts[sr]) * recvtypes[sr].size();
+        if (vol == 0) continue;
+        ScheduleOp up;
+        up.kind = ScheduleOpKind::Unpack;
+        up.round = 3;
+        up.peer = src;
+        up.a = {BufRef::Space::Recv, rdispls[sr]};
+        up.count = recvcounts[sr];
+        up.type = recvtypes[sr];
+        up.b = {BufRef::Space::Win, static_cast<std::ptrdiff_t>(my_offsets[sr])};
+        up.bytes = vol;
+        up.deps = {close_idx};
+        s.ops.push_back(std::move(up));
+    }
+    s.rounds = 4;
+    return s;
+}
+
 // ---------------------------------------------------------------------------
 // rooted builders
 
@@ -572,6 +694,7 @@ std::byte* CollRequest::resolve(const BufRef& ref) const {
                    ref.offset;
         case BufRef::Space::Recv:
             return static_cast<std::byte*>(recvbuf_) + ref.offset;
+        case BufRef::Space::Win:  // resolved through win_->translate, not here
         case BufRef::Space::None:
             break;
     }
@@ -741,9 +864,68 @@ void CollRequest::run_local(std::size_t i) {
         }
         case ScheduleOpKind::Unpack: {
             PhaseScope scope(step_timers_, Phase::Pack);
+            if (op.b.space == BufRef::Space::Win) {
+                // One-sided plans: the source bytes live in this rank's own
+                // window region, where the peer's fused pack+Put left them.
+                NNCOMM_CHECK(win_ != nullptr);
+                const auto* src = static_cast<const std::byte*>(
+                    win_->translate(comm_->rank(), static_cast<std::size_t>(op.b.offset),
+                                    static_cast<std::size_t>(op.bytes)));
+                dt::unpack_from(resolve(op.a), op.type, op.count,
+                                std::span<const std::byte>(
+                                    src, static_cast<std::size_t>(op.bytes)),
+                                &step_);
+                break;
+            }
             auto& buf = staging_[static_cast<std::size_t>(op.slot)];
             dt::unpack_from(resolve(op.a), op.type, op.count,
                             std::span<const std::byte>(buf), &step_);
+            break;
+        }
+        case ScheduleOpKind::Put: {
+            // Fused pack+put: the frozen plan kernels (or the persistent
+            // engine for irregular layouts) write straight into the target
+            // rank's window region — no staging slot, no envelope, no CTS.
+            NNCOMM_CHECK(win_ != nullptr);
+            const std::byte* src = resolve(op.a);
+            const auto total = static_cast<std::size_t>(op.bytes);
+            auto* dst = static_cast<std::byte*>(
+                win_->translate(op.peer, static_cast<std::size_t>(op.b.offset), total));
+            const dt::PackPlan& plan = op.type.plan();
+            if (plan.specialized()) {
+                PhaseScope scope(step_timers_, Phase::Pack);
+                plan.pack(op.type.flat(), src, op.count, std::span<std::byte>(dst, total),
+                          &step_);
+                ++step_.plan_hits;
+                step_.bytes_packed += op.bytes;
+            } else {
+                auto& eng = engines_[i];
+                if (!eng) {
+                    eng = dt::make_engine(engine_kind_, src, op.type, op.count,
+                                          comm_->engine_config());
+                } else {
+                    eng->reset(src);
+                }
+                std::size_t off = 0;
+                dt::ChunkView chunk;
+                while (eng->next_chunk(chunk)) {
+                    if (chunk.dense) {
+                        PhaseScope scope(step_timers_, Phase::Pack);
+                        for (const auto& [ptr, len] : chunk.iov) {
+                            std::memcpy(dst + off, ptr, len);
+                            off += len;
+                        }
+                    } else {
+                        std::memcpy(dst + off, chunk.packed.data(), chunk.packed.size());
+                        off += chunk.packed.size();
+                    }
+                }
+                NNCOMM_CHECK(off == total);
+                step_ += eng->counters();
+                step_timers_ += eng->timers();
+                eng->reset_stats();
+            }
+            win_->record_put(total);
             break;
         }
         case ScheduleOpKind::Reduce: {
@@ -754,6 +936,7 @@ void CollRequest::run_local(std::size_t i) {
         }
         case ScheduleOpKind::Send:
         case ScheduleOpKind::Recv:
+        case ScheduleOpKind::Fence:
             NNCOMM_CHECK(false);
     }
 }
@@ -820,6 +1003,12 @@ bool CollRequest::pass() {
         if (!deps_done(op)) continue;
         if (op.kind == ScheduleOpKind::Send) {
             post_send(i);
+        } else if (op.kind == ScheduleOpKind::Fence) {
+            // Announce arrival (nonblocking) and let step 3 poll the
+            // epoch's completion alongside the posted point-to-point ops.
+            NNCOMM_CHECK(win_ != nullptr);
+            win_->fence_begin();
+            state_[i] = kPosted;
         } else if (op.kind == ScheduleOpKind::Pack && try_fused(i)) {
             // Pack and its Send retired together through the chunk-pipelined
             // rendezvous path.
@@ -831,10 +1020,15 @@ bool CollRequest::pass() {
     }
     if (done_) return true;
 
-    // 3. Test posted operations (drives the delivery engine).
+    // 3. Test posted operations (drives the delivery engine). A posted
+    //    Fence completes through the window's epoch counters, not a
+    //    Request.
     for (std::size_t i = 0; i < nops; ++i) {
         if (state_[i] != kPosted) continue;
-        if (comm_->test(reqs_[i])) {
+        const bool fired = sched_.ops[i].kind == ScheduleOpKind::Fence
+                               ? win_->fence_test()
+                               : comm_->test(reqs_[i]);
+        if (fired) {
             mark_done(i);
             moved = true;
             if (done_) return true;
@@ -868,7 +1062,11 @@ void CollRequest::wait() {
         }
         NNCOMM_CHECK_MSG(idx != none,
                          "schedule stuck: no runnable and no posted operations");
-        comm_->wait(reqs_[idx]);
+        if (sched_.ops[idx].kind == ScheduleOpKind::Fence) {
+            comm_->wait_until([this] { return win_->fence_test(); });
+        } else {
+            comm_->wait(reqs_[idx]);
+        }
         mark_done(idx);
         if (done_) return;
     }

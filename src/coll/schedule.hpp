@@ -33,6 +33,10 @@
 #include "coll/collectives.hpp"
 #include "datatype/engine.hpp"
 
+namespace nncomm::rt {
+class Win;
+}  // namespace nncomm::rt
+
 namespace nncomm::coll {
 
 // ---------------------------------------------------------------------------
@@ -68,13 +72,22 @@ private:
 // ---------------------------------------------------------------------------
 // Schedule
 
-enum class ScheduleOpKind : std::uint8_t { Send, Recv, Copy, Pack, Unpack, Reduce };
+/// Put and Fence are the one-sided ops (persistent RMA plans): a Put packs
+/// its typed source with the frozen plan kernels straight into the target
+/// rank's window region (fused pack+put — no staging slot, no envelope, no
+/// matching), a Fence is the collective epoch boundary that rides the
+/// rt::Win seq-counter completion path. Neither touches the delivery
+/// engine.
+enum class ScheduleOpKind : std::uint8_t { Send, Recv, Copy, Pack, Unpack, Reduce, Put, Fence };
 
 /// Position-independent buffer reference, bound to concrete pointers at
 /// CollRequest::start(sendbuf, recvbuf). `None` means "no user buffer"
-/// (zero-byte synchronization tokens).
+/// (zero-byte synchronization tokens). `Win` offsets into an rt::Win
+/// region: the *target* rank's region for a Put's `b`, this rank's own
+/// region for an Unpack's `b` (the executor resolves which through the
+/// op's peer).
 struct BufRef {
-    enum class Space : std::uint8_t { None, Send, Recv };
+    enum class Space : std::uint8_t { None, Send, Recv, Win };
     Space space = Space::None;
     std::ptrdiff_t offset = 0;  ///< byte offset from the space base
 };
@@ -171,6 +184,27 @@ Schedule build_scatterv_schedule(int rank, int nranks, int root,
 Schedule build_reduce_schedule(int rank, int nranks, int root, std::size_t nbytes,
                                ReduceOp op, ReduceFn fn, std::size_t elems);
 
+/// One-sided alltoallw over a pre-negotiated rt::Win: round 0 opens the
+/// access epoch (Fence), round 1 fires one fused pack+Put per nonzero
+/// destination (binned small-first like the two-sided Binned schedule) plus
+/// the self Copy, round 2 closes the epoch (Fence, depending on every Put),
+/// round 3 Unpacks each source's bytes out of this rank's own window
+/// region. No Send/Recv, no CTS, no staging slots. `target_offsets[d]` is
+/// this rank's byte offset inside destination d's window; `my_offsets[s]`
+/// is source s's byte offset inside this rank's window (both n-sized,
+/// unused entries ignored). The offsets are exchanged once at plan setup —
+/// steady state moves zero control messages.
+Schedule build_alltoallw_rma_schedule(int rank, int nranks,
+                                      std::span<const std::size_t> sendcounts,
+                                      std::span<const std::ptrdiff_t> sdispls,
+                                      std::span<const dt::Datatype> sendtypes,
+                                      std::span<const std::size_t> recvcounts,
+                                      std::span<const std::ptrdiff_t> rdispls,
+                                      std::span<const dt::Datatype> recvtypes,
+                                      std::span<const std::uint64_t> target_offsets,
+                                      std::span<const std::uint64_t> my_offsets,
+                                      std::size_t small_msg_threshold);
+
 // ---------------------------------------------------------------------------
 // CollRequest — the schedule executor
 
@@ -235,6 +269,11 @@ public:
         engine_kind_set_ = true;
     }
 
+    /// Binds the rt::Win that Put/Fence/window-Unpack ops operate on.
+    /// Required before start() when the schedule contains one-sided ops;
+    /// the window must outlive the request. Not owned.
+    void set_window(rt::Win* win) { win_ = win; }
+
     /// Folds extra statistics into the next execution's step (persistent
     /// plans inject persistent_executes / cache hits / setup costs).
     void inject(const StatCounters& extra) { pending_setup_ += extra; }
@@ -266,6 +305,7 @@ private:
     std::byte* resolve(const BufRef& ref) const;
 
     rt::Comm* comm_ = nullptr;
+    rt::Win* win_ = nullptr;  ///< one-sided ops only; not owned
     Schedule sched_;
     TagSpace tags_;
     const void* sendbuf_ = nullptr;

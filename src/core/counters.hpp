@@ -177,6 +177,22 @@ struct StatCounters {
     std::uint64_t rt_rdzv_pipelined_msgs = 0;    ///< fused pack+copy rendezvous sends
     std::uint64_t rt_rdzv_pipelined_chunks = 0;  ///< chunks moved through the fused path
 
+    // One-sided RMA counters (runtime/win.cpp + coll/persistent.cpp). Puts
+    // and gets are window transfers (a fused pack straight into the target
+    // region counts as one put); fences tally epoch closes, flushes the
+    // per-target completion calls, pscw epochs the start/complete pairs. A
+    // steady-state RMA plan execute shows puts and fences but zero
+    // deliveries and zero matching traffic — that absence is the point, and
+    // benches attest it through these counters.
+    std::uint64_t rt_rma_puts = 0;         ///< window puts issued
+    std::uint64_t rt_rma_put_bytes = 0;    ///< bytes written by puts
+    std::uint64_t rt_rma_gets = 0;         ///< window gets issued
+    std::uint64_t rt_rma_get_bytes = 0;    ///< bytes read by gets
+    std::uint64_t rt_rma_fences = 0;       ///< fence epochs closed
+    std::uint64_t rt_rma_flushes = 0;      ///< per-target / all-target flushes
+    std::uint64_t rt_rma_pscw_epochs = 0;  ///< pscw access epochs completed
+    std::uint64_t coll_rma_plan_executes = 0;  ///< persistent-plan executes on the RMA path
+
     // Datatype kernel-dispatch counters (datatype/plan.cpp + simd.cpp).
     // Every PackPlan::pack_range/unpack_range call is tallied per compiled
     // kernel class (indexed by PackKernel: Contiguous=0, Strided=1,
@@ -235,6 +251,14 @@ struct StatCounters {
         }
         rt_rdzv_pipelined_msgs += o.rt_rdzv_pipelined_msgs;
         rt_rdzv_pipelined_chunks += o.rt_rdzv_pipelined_chunks;
+        rt_rma_puts += o.rt_rma_puts;
+        rt_rma_put_bytes += o.rt_rma_put_bytes;
+        rt_rma_gets += o.rt_rma_gets;
+        rt_rma_get_bytes += o.rt_rma_get_bytes;
+        rt_rma_fences += o.rt_rma_fences;
+        rt_rma_flushes += o.rt_rma_flushes;
+        rt_rma_pscw_epochs += o.rt_rma_pscw_epochs;
+        coll_rma_plan_executes += o.coll_rma_plan_executes;
         rt_sparse_exchanges += o.rt_sparse_exchanges;
         rt_sparse_msgs_sent += o.rt_sparse_msgs_sent;
         rt_sparse_msgs_recvd += o.rt_sparse_msgs_recvd;

@@ -49,7 +49,8 @@ void lower_schedule(RankProgram& p, const coll::Schedule& sched, int tag0,
     for (int round = 0; round < sched.rounds; ++round) {
         sends.clear();
         for (const coll::ScheduleOp& op : sched.ops) {
-            if (op.round == round && op.kind == coll::ScheduleOpKind::Send)
+            if (op.round == round && (op.kind == coll::ScheduleOpKind::Send ||
+                                      op.kind == coll::ScheduleOpKind::Put))
                 sends.push_back(&op);
         }
         if (rank_order_sends) {
@@ -63,11 +64,26 @@ void lower_schedule(RankProgram& p, const coll::Schedule& sched, int tag0,
                 p.push_back(
                     Op::compute(pack_cost_us(*cluster, *pack, op->bytes, block_len)));
             }
-            p.push_back(Op::send(op->peer, tag0 + op->tag_offset, op->bytes));
+            if (op->kind == coll::ScheduleOpKind::Put) {
+                p.push_back(Op::put(op->peer, op->bytes));
+            } else {
+                p.push_back(Op::send(op->peer, tag0 + op->tag_offset, op->bytes));
+            }
         }
         for (const coll::ScheduleOp& op : sched.ops) {
-            if (op.round != round || op.kind != coll::ScheduleOpKind::Recv) continue;
-            p.push_back(Op::recv(op.peer, tag0 + op.tag_offset));
+            if (op.round != round) continue;
+            if (op.kind == coll::ScheduleOpKind::Recv) {
+                p.push_back(Op::recv(op.peer, tag0 + op.tag_offset));
+            } else if (op.kind == coll::ScheduleOpKind::Fence) {
+                p.push_back(Op::fence());
+            } else if (op.kind == coll::ScheduleOpKind::Unpack &&
+                       op.b.space == coll::BufRef::Space::Win && cluster != nullptr) {
+                // RMA receiver-side scatter out of the window region: the
+                // two-sided eager path charges this copy inside Recv; here
+                // it is an explicit local cost.
+                p.push_back(Op::compute(static_cast<double>(op.bytes) *
+                                        cluster->copy_us_per_byte));
+            }
         }
     }
 }
@@ -118,14 +134,48 @@ void emit_allgatherv(std::vector<RankProgram>& progs, std::span<const std::uint6
 void emit_alltoallw(std::vector<RankProgram>& progs, const ClusterConfig& cluster,
                     const AlltoallwWorkload& wl, AlltoallwSchedule schedule, int tag0) {
     const int n = wl.nprocs;
-    const coll::AlltoallwAlgo algo = schedule == AlltoallwSchedule::RoundRobin
-                                         ? coll::AlltoallwAlgo::RoundRobin
-                                         : coll::AlltoallwAlgo::Binned;
     const dt::Datatype byte = dt::Datatype::byte();
     const std::vector<dt::Datatype> types(static_cast<std::size_t>(n), byte);
     const std::vector<std::ptrdiff_t> zero_displs(static_cast<std::size_t>(n), 0);
     std::vector<std::size_t> sendcounts(static_cast<std::size_t>(n));
     std::vector<std::size_t> recvcounts(static_cast<std::size_t>(n));
+
+    if (schedule == AlltoallwSchedule::Rma) {
+        // Window layouts are analytic here: rank d's region is the prefix
+        // sums of its incoming volumes in source-rank order — exactly what
+        // the executable plans negotiate once in their setup exchange.
+        std::vector<std::vector<std::uint64_t>> win_off(
+            static_cast<std::size_t>(n), std::vector<std::uint64_t>(static_cast<std::size_t>(n), 0));
+        for (int dst = 0; dst < n; ++dst) {
+            std::uint64_t acc = 0;
+            for (int src = 0; src < n; ++src) {
+                if (src == dst || wl.vol(src, dst) == 0) continue;
+                win_off[static_cast<std::size_t>(dst)][static_cast<std::size_t>(src)] = acc;
+                acc += wl.vol(src, dst);
+            }
+        }
+        std::vector<std::uint64_t> target_offsets(static_cast<std::size_t>(n));
+        std::vector<std::uint64_t> my_offsets(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            for (int peer = 0; peer < n; ++peer) {
+                const auto sp = static_cast<std::size_t>(peer);
+                sendcounts[sp] = static_cast<std::size_t>(wl.vol(r, peer));
+                recvcounts[sp] = static_cast<std::size_t>(wl.vol(peer, r));
+                target_offsets[sp] = win_off[sp][static_cast<std::size_t>(r)];
+                my_offsets[sp] = win_off[static_cast<std::size_t>(r)][sp];
+            }
+            const coll::Schedule sched = coll::build_alltoallw_rma_schedule(
+                r, n, sendcounts, zero_displs, types, recvcounts, zero_displs, types,
+                target_offsets, my_offsets, wl.small_msg_threshold);
+            lower_schedule(progs[static_cast<std::size_t>(r)], sched, tag0, &cluster,
+                           &wl.pack, wl.block_len, false);
+        }
+        return;
+    }
+
+    const coll::AlltoallwAlgo algo = schedule == AlltoallwSchedule::RoundRobin
+                                         ? coll::AlltoallwAlgo::RoundRobin
+                                         : coll::AlltoallwAlgo::Binned;
     for (int r = 0; r < n; ++r) {
         for (int peer = 0; peer < n; ++peer) {
             sendcounts[static_cast<std::size_t>(peer)] =
@@ -251,6 +301,23 @@ void ProgramBuilder::add_compute_per_rank(std::span<const double> us) {
 void ProgramBuilder::add_alltoallw(const AlltoallwWorkload& wl, AlltoallwSchedule schedule) {
     NNCOMM_CHECK_MSG(wl.nprocs == cluster_.nprocs, "workload/cluster rank-count mismatch");
     emit_alltoallw(progs_, cluster_, wl, schedule, next_tag_block());
+}
+
+void ProgramBuilder::add_rma_offset_exchange(const AlltoallwWorkload& wl) {
+    NNCOMM_CHECK_MSG(wl.nprocs == cluster_.nprocs, "workload/cluster rank-count mismatch");
+    const int tag0 = next_tag_block();
+    const int n = cluster_.nprocs;
+    for (int r = 0; r < n; ++r) {
+        RankProgram& p = progs_[static_cast<std::size_t>(r)];
+        // Tell each source its 8-byte offset into this rank's window...
+        for (int s = 0; s < n; ++s) {
+            if (s != r && wl.vol(s, r) > 0) p.push_back(Op::send(s, tag0, 8));
+        }
+        // ...and learn this rank's offset into each destination's window.
+        for (int d = 0; d < n; ++d) {
+            if (d != r && wl.vol(r, d) > 0) p.push_back(Op::recv(d, tag0));
+        }
+    }
 }
 
 void ProgramBuilder::add_allgatherv(std::span<const std::uint64_t> volumes,

@@ -57,6 +57,7 @@ enum class AlltoallwSchedule {
     RoundRobin,       ///< baseline: blocking pairwise, zero-size included
     Binned,           ///< zero-exempt, small bin packed before large
     BinnedRankOrder,  ///< ablation: zero-exempt but rank-order packing
+    Rma,              ///< one-sided: fence, fused pack+puts, fence, unpacks
 };
 
 struct AlltoallwWorkload {
@@ -122,6 +123,12 @@ public:
     void add_compute_per_rank(std::span<const double> us);
     /// One alltoallw round (the workload's `iterations` field is ignored).
     void add_alltoallw(const AlltoallwWorkload& wl, AlltoallwSchedule schedule);
+    /// The one-time window-offset exchange an RMA persistent plan performs
+    /// at setup: every rank sends each of its sources an 8-byte offset and
+    /// receives its own offset from each of its destinations. Steady-state
+    /// RMA rounds (add_alltoallw with AlltoallwSchedule::Rma) then move
+    /// zero two-sided messages.
+    void add_rma_offset_exchange(const AlltoallwWorkload& wl);
     /// One allgatherv round.
     void add_allgatherv(std::span<const std::uint64_t> volumes, GathervSchedule schedule,
                         const AllgathervPolicy& policy = {});

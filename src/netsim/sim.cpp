@@ -23,6 +23,18 @@ struct RankState {
     bool done = false;
 };
 
+/// One collective fence epoch. Fences are collective and every rank passes
+/// the same number of them, so epoch k is globally well defined; a put
+/// issued by rank r after its fence k-1 and before its fence k belongs to
+/// epoch k and must have arrived before epoch k completes.
+struct FenceState {
+    int arrived = 0;           ///< ranks that have entered this fence
+    double max_arrival = 0.0;  ///< latest entry time
+    double put_latest = 0.0;   ///< latest arrival of a put in this epoch
+    double completion = 0.0;
+    bool complete = false;
+};
+
 /// One message in transit: arrival time plus what the receiver still owes
 /// for it (the eager unpack copy; rendezvous bytes land in place).
 struct Transit {
@@ -51,6 +63,9 @@ SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
     std::unordered_map<std::uint64_t, std::deque<Transit>> in_flight;  // FIFO per key
     in_flight.reserve(1024);
     std::unordered_map<std::uint64_t, PairEstimate> estimates;  // adaptive only
+    std::unordered_map<std::uint64_t, FenceState> fences;       // epoch index -> state
+    std::vector<std::uint64_t> next_fence(static_cast<std::size_t>(n), 0);
+    std::vector<char> fence_entered(static_cast<std::size_t>(n), 0);
     SimResult result;
 
     // Sweep until every rank finishes. Sends never block, so any rank that
@@ -121,6 +136,39 @@ SimResult Simulator::run(const std::vector<RankProgram>& programs) const {
                         Transit{st.clock + config_.latency_us, op.bytes, rdv});
                     ++result.messages;
                     result.bytes += op.bytes;
+                } else if (op.kind == Op::Kind::Put) {
+                    // LogGP put: sender pays overhead + serialization + the
+                    // fused pack/copy into the target region. No handshake
+                    // term (nothing to match), no receiver-side cost — the
+                    // target only pays when it unpacks, which the lowering
+                    // charges as Compute.
+                    st.clock += config_.overhead_us / speed +
+                                static_cast<double>(op.bytes) * config_.us_per_byte +
+                                static_cast<double>(op.bytes) * config_.copy_us_per_byte;
+                    FenceState& fs = fences[next_fence[static_cast<std::size_t>(r)]];
+                    fs.put_latest =
+                        std::max(fs.put_latest, st.clock + config_.latency_us);
+                    ++result.puts;
+                    result.put_bytes += op.bytes;
+                } else if (op.kind == Op::Kind::Fence) {
+                    const std::uint64_t k = next_fence[static_cast<std::size_t>(r)];
+                    FenceState& fs = fences[k];
+                    if (!fence_entered[static_cast<std::size_t>(r)]) {
+                        fence_entered[static_cast<std::size_t>(r)] = 1;
+                        st.clock += config_.overhead_us / speed;
+                        fs.max_arrival = std::max(fs.max_arrival, st.clock);
+                        ++fs.arrived;
+                        progress = true;
+                    }
+                    if (fs.arrived < n) break;  // blocked on stragglers
+                    if (!fs.complete) {
+                        fs.complete = true;
+                        fs.completion = std::max(fs.max_arrival, fs.put_latest);
+                        ++result.fences;
+                    }
+                    st.clock = std::max(st.clock, fs.completion);
+                    fence_entered[static_cast<std::size_t>(r)] = 0;
+                    ++next_fence[static_cast<std::size_t>(r)];
                 } else {  // Recv
                     auto it = in_flight.find(pair_key(op.peer, r, op.tag));
                     if (it == in_flight.end() || it->second.empty()) break;  // blocked

@@ -23,18 +23,25 @@
 namespace nncomm::sim {
 
 struct Op {
-    enum class Kind { Compute, Send, Recv };
+    enum class Kind { Compute, Send, Recv, Put, Fence };
     Kind kind = Kind::Compute;
     double compute_us = 0.0;  ///< Compute: raw cost (divided by rank speed)
-    int peer = -1;            ///< Send: destination; Recv: source
+    int peer = -1;            ///< Send: destination; Recv: source; Put: target
     int tag = 0;
-    std::uint64_t bytes = 0;  ///< Send only
+    std::uint64_t bytes = 0;  ///< Send/Put only
 
     static Op compute(double us) { return Op{Kind::Compute, us, -1, 0, 0}; }
     static Op send(int to, int tag, std::uint64_t bytes) {
         return Op{Kind::Send, 0.0, to, tag, bytes};
     }
     static Op recv(int from, int tag) { return Op{Kind::Recv, 0.0, from, tag, 0}; }
+    /// One-sided put: LogGP sender cost (overhead + serialization + the
+    /// fused pack/copy), no handshake, no matching, no receiver-side cost.
+    /// Visibility is deferred to the next Fence.
+    static Op put(int to, std::uint64_t bytes) { return Op{Kind::Put, 0.0, to, 0, bytes}; }
+    /// Collective epoch boundary: completes once every rank entered the
+    /// same fence AND every put issued toward it has arrived.
+    static Op fence() { return Op{Kind::Fence, 0.0, -1, 0, 0}; }
 };
 
 using RankProgram = std::vector<Op>;
@@ -46,6 +53,12 @@ struct SimResult {
     std::uint64_t messages = 0;     ///< total messages delivered
     std::uint64_t bytes = 0;        ///< total payload bytes moved
     std::uint64_t rendezvous_messages = 0;  ///< sends that rode the rendezvous cost path
+
+    // One-sided traffic (Put/Fence ops): puts never appear in messages /
+    // bytes — they move no envelopes and match nothing.
+    std::uint64_t puts = 0;
+    std::uint64_t put_bytes = 0;
+    std::uint64_t fences = 0;  ///< collective fence epochs completed
 
     // Adaptive protocol selection (config.adaptive_protocol): observation
     // count plus the smallest / largest / last effective threshold any

@@ -282,6 +282,7 @@ ScatterRequest VecScatter::begin_datatype(const void* sendbuf, void* recvbuf,
     comm_->set_engine(engine);
     coll::CollConfig cfg;
     cfg.alltoallw_algo = algo;
+    cfg.persistent_protocol = persistent_protocol_;
 
     const bool forward = mode == ScatterMode::Forward;
     const auto& scounts = forward ? w_sendcounts_ : w_recvcounts_;

@@ -536,7 +536,19 @@ std::size_t drain_dest(WorldState& world, int dest, DestQueue& dq, StatCounters&
             ++counters.sched_wakeup_delays;
         }
         deliver_lane(world, dest, std::move(f.env), counters, /*force_overflow=*/true, notify);
-        if (f.sender) f.sender->delivered.store(true, std::memory_order_release);
+        if (f.sender) {
+            f.sender->delivered.store(true, std::memory_order_release);
+            // Wake the sender's own waiter too: the send-side wait parks on
+            // the sender's mailbox pulse, and without this bump a send
+            // completed by another rank's drain has no wakeup at all — the
+            // lost notify behind the oversubscribed-contention livelock.
+            // The wakeup-delay fault suppresses it like any other notify;
+            // the timed wait self-heals.
+            const int owner = f.sender->owner_rank;
+            if (owner >= 0 && owner < world.nranks) {
+                pulse(*world.boxes[static_cast<std::size_t>(owner)], counters, notify);
+            }
+        }
         ++delivered;
     }
     return delivered;
@@ -867,6 +879,7 @@ Envelope Comm::pack_envelope(const void* buf, std::size_t count, const dt::Datat
 bool Comm::try_rendezvous(const void* buf, std::size_t count, const dt::Datatype& type, int dest,
                           int tag, int context, Protocol proto, std::size_t total) {
     if (proto == Protocol::Eager || world_->policy.enabled) return false;
+    if (proto == Protocol::Rma) proto = Protocol::Auto;  // no window here: resolve like Auto
     NNCOMM_CHECK(type.valid());
     // Boundary contract (mirrored by coll/persistent.cpp, coll/schedule.cpp
     // phase_protocol and netsim/sim.cpp): rendezvous iff total > 0 AND
@@ -1234,15 +1247,39 @@ RecvStatus Comm::wait(Request& request) {
     if (req.kind == RequestState::Kind::Send) {
         // Pending buffered send: complete when the envelope reaches the
         // destination mailbox. This rank drives the delivery engine itself,
-        // so completion needs no cooperation from other ranks.
+        // but another rank's drain pass may complete the send first — that
+        // drain pulses this rank's mailbox (drain_dest), so after a bounded
+        // spin the waiter parks in a registered timed sleep instead of
+        // yield-spinning. An unbounded yield loop here starves the scheduler
+        // when many oversubscribed copies contend for one core (the
+        // PersistentPlanRepeatedExecutes livelock).
+        Mailbox& sbox = *world_->boxes[static_cast<std::size_t>(req.owner_rank)];
+        int spins = 0;
         while (!req.delivered.load(std::memory_order_acquire)) {
-            if (progress() == 0) {
-                if (req.delivered.load(std::memory_order_acquire)) break;
-                if (world_->aborted.load(std::memory_order_acquire)) {
-                    throw AbortedError("runtime aborted while waiting for a send");
-                }
-                std::this_thread::yield();
+            if (progress() > 0) continue;
+            if (req.delivered.load(std::memory_order_acquire)) break;
+            if (world_->aborted.load(std::memory_order_acquire)) {
+                throw AbortedError("runtime aborted while waiting for a send");
             }
+            ++spins;
+            if (spins <= kSpinChecks) continue;
+            if (spins <= kSpinChecks + kSpinYields) {
+                std::this_thread::yield();
+                continue;
+            }
+            spins = 0;
+            sbox.sleepers.fetch_add(1, std::memory_order_seq_cst);
+            const std::uint64_t seen = sbox.seq.load(std::memory_order_seq_cst);
+            {
+                std::unique_lock<std::mutex> lk(sbox.wait_mu);
+                if (sbox.seq.load(std::memory_order_seq_cst) == seen &&
+                    !req.delivered.load(std::memory_order_acquire) &&
+                    !world_->aborted.load(std::memory_order_acquire)) {
+                    ++counters_.rt_cv_waits;
+                    sbox.cv.wait_for(lk, kSleepSlice);
+                }
+            }
+            sbox.sleepers.fetch_sub(1, std::memory_order_release);
         }
         req.complete = true;
         return req.status;
@@ -1309,6 +1346,40 @@ RecvStatus Comm::wait(Request& request) {
     }
 
     return finish_recv(req);
+}
+
+void Comm::pulse_rank(int rank) {
+    NNCOMM_CHECK_MSG(rank >= 0 && rank < size(), "pulse_rank on invalid rank");
+    detail::pulse(*world_->boxes[static_cast<std::size_t>(rank)], counters_, /*notify=*/true);
+}
+
+void Comm::wait_until(const std::function<bool()>& pred) {
+    Mailbox& box = *world_->boxes[static_cast<std::size_t>(rank_)];
+    int spins = 0;
+    while (!pred()) {
+        if (world_->aborted.load(std::memory_order_acquire)) {
+            throw AbortedError("runtime aborted while waiting for a one-sided epoch");
+        }
+        if (progress() > 0) continue;
+        ++spins;
+        if (spins <= kSpinChecks) continue;
+        if (spins <= kSpinChecks + kSpinYields) {
+            std::this_thread::yield();
+            continue;
+        }
+        spins = 0;
+        box.sleepers.fetch_add(1, std::memory_order_seq_cst);
+        const std::uint64_t seen = box.seq.load(std::memory_order_seq_cst);
+        {
+            std::unique_lock<std::mutex> lk(box.wait_mu);
+            if (box.seq.load(std::memory_order_seq_cst) == seen && !pred() &&
+                !world_->aborted.load(std::memory_order_acquire)) {
+                ++counters_.rt_cv_waits;
+                box.cv.wait_for(lk, kSleepSlice);
+            }
+        }
+        box.sleepers.fetch_sub(1, std::memory_order_release);
+    }
 }
 
 RecvStatus Comm::finish_recv(RequestState& req) {

@@ -89,8 +89,11 @@ inline constexpr int kAnyTag = -1;
 /// rendezvous attempt always degrades to buffered eager when the matching
 /// receive is not posted yet or a SchedulePolicy is active, so a hint can
 /// never deadlock or reorder anything — it only changes which copy path
-/// moves the bytes.
-enum class Protocol { Auto, Eager, Rendezvous };
+/// moves the bytes. Rma marks a transfer lowered onto a one-sided window
+/// (rt::Win) by a persistent plan; on the ad-hoc point-to-point path it
+/// resolves exactly like Auto (there is no window to put into), so the
+/// hint is always safe to pass through generic send paths.
+enum class Protocol { Auto, Eager, Rendezvous, Rma };
 
 /// Default rendezvous threshold (bytes). Overridable per communicator via
 /// Comm::set_rendezvous_threshold and at build time via the
@@ -235,6 +238,18 @@ public:
     /// executor (coll::CollRequest) is built on this.
     bool test(Request& req, RecvStatus* status = nullptr);
 
+    // -- one-sided completion hooks ------------------------------------------
+    /// Bumps `rank`'s mailbox pulse and notifies its registered sleepers.
+    /// rt::Win epochs signal completion through this — the same seq-counter
+    /// path every delivery rides — instead of mailbox messages.
+    void pulse_rank(int rank);
+    /// Blocks until `pred()` turns true, using the spin / yield / registered
+    /// timed-sleep discipline of the message waiters, driving the delivery
+    /// engine between checks. `pred` must become true through another
+    /// rank's store followed by a pulse_rank(this rank) (or any delivery to
+    /// this rank); the timed slice self-heals a suppressed notify.
+    void wait_until(const std::function<bool()>& pred);
+
     /// Dissemination barrier over all ranks of this communicator.
     void barrier();
 
@@ -321,6 +336,7 @@ public:
     const PhaseTimers& timers() const { return timers_; }
     PhaseTimers& timers() { return timers_; }
     const StatCounters& counters() const { return counters_; }
+    StatCounters& counters() { return counters_; }
     void reset_stats() {
         timers_.reset();
         counters_.reset();

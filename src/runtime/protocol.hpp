@@ -89,6 +89,31 @@ inline bool adaptive_runtime_enabled() {
     return enabled;
 }
 
+/// True when the one-sided RMA machinery is eligible for plan selection
+/// (the NNCOMM_RMA CMake option; OFF defines NNCOMM_RMA_DISABLED).
+/// rt::Win itself always compiles — only the persistent-plan protocol
+/// selection is gated, mirroring how NNCOMM_SIMD gates dispatch rather
+/// than the kernels.
+#if defined(NNCOMM_RMA_DISABLED)
+inline constexpr bool kRmaCompiled = false;
+#else
+inline constexpr bool kRmaCompiled = true;
+#endif
+
+/// Runtime escape hatch: NNCOMM_RMA=OFF|0|FALSE keeps persistent plans on
+/// the two-sided protocols. Same parser as the adaptive hatch.
+inline bool rma_env_enabled(const char* value) { return adaptive_env_enabled(value); }
+
+/// Memoized read of the NNCOMM_RMA env var (first call wins).
+inline bool rma_runtime_enabled() {
+    static const bool enabled = rma_env_enabled(std::getenv("NNCOMM_RMA"));
+    return enabled;
+}
+
+/// The one predicate persistent plans consult: RMA compiled in AND not
+/// disabled by the env var.
+inline bool rma_selection_enabled() { return kRmaCompiled && rma_runtime_enabled(); }
+
 /// Pack-plan family a protocol observation is attributed to. Mirrors
 /// dt::PackKernel — the copy cost per byte differs by an order of magnitude
 /// between a dense memcpy and an irregular gather, so the crossover does too.

@@ -269,7 +269,13 @@ TEST(Adaptive, FrozenPlanChoicesBitIdenticalAcrossReruns) {
             scounts[static_cast<std::size_t>(peer)] = 65536;
             rcounts[static_cast<std::size_t>(peer)] = 65536;
             std::vector<std::uint8_t> src(65536, 0x3c), dst(65536, 0);
-            coll::AlltoallwPlan plan(c, scounts, sdispls, stypes, rcounts, rdispls, rtypes);
+            // The frozen choices under test are the per-peer eager/rdzv
+            // decisions of the two-sided schedule; force it so a default
+            // RMA selection doesn't replace the Sends with Puts.
+            coll::CollConfig cfg;
+            cfg.persistent_protocol = rt::Protocol::Rendezvous;
+            coll::AlltoallwPlan plan(c, scounts, sdispls, stypes, rcounts, rdispls, rtypes,
+                                     cfg);
             plan.execute(src.data(), dst.data());
             EXPECT_EQ(dst[0], 0x3c);
             if (c.rank() == 0) {
@@ -334,8 +340,32 @@ TEST(Adaptive, PipelinedRendezvousBitIdenticalToSerial) {
             stypes[static_cast<std::size_t>(peer)] = strided;
             rcounts[static_cast<std::size_t>(peer)] = kBlocks * kElems;
             rtypes[static_cast<std::size_t>(peer)] = Datatype::float64();
-            coll::AlltoallwPlan plan(c, scounts, sdispls, stypes, rcounts, rdispls, rtypes);
-            for (int it = 0; it < 3; ++it) plan.execute(src.data(), dst.data());
+            // Chunk pipelining is a rendezvous-send mechanism; keep the
+            // plan on the two-sided path it instruments.
+            coll::CollConfig cfg;
+            cfg.persistent_protocol = rt::Protocol::Rendezvous;
+            coll::AlltoallwPlan plan(c, scounts, sdispls, stypes, rcounts, rdispls, rtypes,
+                                     cfg);
+            // The fused claim requires the peer's receive to be posted when
+            // the send arrives; on an oversubscribed machine a descheduled
+            // receiver degrades it to pack-then-send (by design). Keep
+            // executing until rank 0's counter attests a fused send, with the
+            // break decision exchanged so both ranks stay in lockstep on the
+            // collective. Every execute overwrites dst in full, so the
+            // iteration count does not affect the bit-identical comparison.
+            const int max_iters = pipelined ? 64 : 3;
+            int done = 0;
+            for (int it = 0; it < max_iters && !done; ++it) {
+                plan.execute(src.data(), dst.data());
+                int flag = !pipelined && it == 2;
+                if (c.rank() == 0) {
+                    if (pipelined) flag = c.counters().rt_rdzv_pipelined_msgs > 0 ? 1 : 0;
+                    c.send_n(&flag, 1, 1, 901);
+                } else {
+                    c.recv_n(&flag, 1, 0, 901);
+                }
+                done = flag;
+            }
             c.barrier();
             if (c.rank() == 0) {
                 *out = dst;

@@ -374,6 +374,69 @@ TEST(SparseExchangeSchedule, SetupBeatsDenseDiscoveryAtScale) {
     EXPECT_LT(sparse_us, dense_us);
 }
 
+// ---------------------------------------------------------------------------
+// one-sided RMA schedules
+
+TEST(RmaSchedule, SteadyStateMovesZeroTwoSidedMessages) {
+    // The structural claim of the put-based plans: a steady-state round is
+    // puts and fences only — no envelopes, no matching, zero messages.
+    const int n = 16;
+    auto c = make_uniform_cluster(n);
+    auto wl = make_ring_neighbor_workload(n, 65536);
+    const SimResult r = Simulator(c).run(alltoallw_program(c, wl, AlltoallwSchedule::Rma));
+    EXPECT_EQ(r.messages, 0u);
+    EXPECT_EQ(r.bytes, 0u);
+    EXPECT_EQ(r.rendezvous_messages, 0u);
+    EXPECT_EQ(r.puts, static_cast<std::uint64_t>(n) * 2u);
+    EXPECT_EQ(r.put_bytes, static_cast<std::uint64_t>(n) * 2u * 65536u);
+    EXPECT_EQ(r.fences, 2u);
+}
+
+TEST(RmaSchedule, OffsetExchangeIsSetupOnly) {
+    // Setup: one 8-byte message per nonzero edge. Steady state: three RMA
+    // rounds add puts and fence epochs but not a single further message.
+    const int n = 12;
+    auto c = make_uniform_cluster(n);
+    auto wl = make_ring_neighbor_workload(n, 4096);
+    ProgramBuilder setup(c);
+    setup.add_rma_offset_exchange(wl);
+    const SimResult rs = Simulator(c).run(setup.programs());
+    EXPECT_EQ(rs.messages, static_cast<std::uint64_t>(n) * 2u);
+    EXPECT_EQ(rs.bytes, static_cast<std::uint64_t>(n) * 2u * 8u);
+    EXPECT_EQ(rs.puts, 0u);
+    EXPECT_EQ(rs.fences, 0u);
+
+    ProgramBuilder steady(c);
+    steady.add_rma_offset_exchange(wl);
+    for (int i = 0; i < 3; ++i) steady.add_alltoallw(wl, AlltoallwSchedule::Rma);
+    const SimResult r3 = Simulator(c).run(steady.programs());
+    EXPECT_EQ(r3.messages, rs.messages);
+    EXPECT_EQ(r3.bytes, rs.bytes);
+    EXPECT_EQ(r3.puts, 3u * static_cast<std::uint64_t>(n) * 2u);
+    EXPECT_EQ(r3.fences, 6u);
+}
+
+TEST(RmaSchedule, PutBeatsTwoSidedOnNeighborExchange) {
+    // Fig. 15 shape with memory copies and the rendezvous handshake
+    // priced: a put pays one fused copy and no handshake, the receiver
+    // unpacks locally, and the fence closes the epoch — cheaper than both
+    // the handshaking rendezvous path and the round-robin baseline.
+    const int n = 32;
+    auto c = make_uniform_cluster(n);
+    c.copy_us_per_byte = 0.0001;
+    c.rendezvous_handshake_us = 20.0;
+    c.rendezvous_threshold = 32 * 1024;
+    auto wl = make_ring_neighbor_workload(n, 64 * 1024);
+    const double rma =
+        Simulator(c).run(alltoallw_program(c, wl, AlltoallwSchedule::Rma)).makespan_us;
+    const double binned =
+        Simulator(c).run(alltoallw_program(c, wl, AlltoallwSchedule::Binned)).makespan_us;
+    const double rr =
+        Simulator(c).run(alltoallw_program(c, wl, AlltoallwSchedule::RoundRobin)).makespan_us;
+    EXPECT_LT(rma, binned);
+    EXPECT_LT(rma, rr);
+}
+
 TEST(PaperTestbed, TwoSpeedClasses) {
     auto c = make_paper_testbed(64);
     ASSERT_EQ(c.speed.size(), 64u);

@@ -195,6 +195,10 @@ TEST(PersistentScatter, StridedSteadyStateBuildsNoEnginesOrScratch) {
             }
         }
         VecScatter sc(src, IndexSet::general(from), dst, IndexSet::general(to));
+        // This test pins the two-sided plan's staging mechanics (plan-time
+        // scratch, engine-free strided kernels); the RMA lowering packs
+        // straight into the peer window and allocates no scratch at all.
+        sc.set_persistent_protocol(rt::Protocol::Rendezvous);
 
         comm.reset_stats();
         sc.execute(src, dst, ScatterBackend::DatatypeOptimized);

@@ -137,7 +137,12 @@ TEST(Rendezvous, ExactThirtyTwoKiBBoundaryPinnedAcrossLayers) {
             std::vector<std::ptrdiff_t> displs(2, 0);
             std::vector<Datatype> types(2, Datatype::byte());
             counts[static_cast<std::size_t>(peer)] = bytes;
-            coll::AlltoallwPlan plan(c, counts, displs, types, counts, displs, types);
+            // The boundary under test is the two-sided eager/rendezvous
+            // freeze; pin the plan to it so RMA selection can't bypass the
+            // zero-copy machinery entirely.
+            coll::CollConfig cfg;
+            cfg.persistent_protocol = rt::Protocol::Rendezvous;
+            coll::AlltoallwPlan plan(c, counts, displs, types, counts, displs, types, cfg);
             std::vector<std::uint8_t> sendbuf(bytes, static_cast<std::uint8_t>(c.rank() + 1));
             std::vector<std::uint8_t> recvbuf(bytes, 0);
             plan.execute(sendbuf.data(), recvbuf.data());
